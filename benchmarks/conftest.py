@@ -1,0 +1,96 @@
+"""Shared benchmark infrastructure for the Figure 13 reproduction.
+
+Each benchmark measures PIM cycles (micro-operations) for one workload on
+the simulator and derives three series, exactly as the paper's Figure 13:
+
+- **PyPIM**: Eq. (1) throughput of the measured end-to-end cycle count at
+  Table III scale (64M-row parallelism, 300 MHz);
+- **Theoretical PIM**: the same with framework overhead excluded (the
+  productive NOR/NOT/move cycles only, see ``repro.theory``);
+- **Host driver**: the throughput the chip could sustain if bounded only
+  by the host's micro-op generation rate.
+
+Rows are accumulated and written to ``results/`` at session end.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+import repro.pim as pim
+from repro.arch.config import PIMConfig
+from repro.sim.stats import throughput as eq1
+from repro.theory.counts import theoretical_cycles
+
+#: Table III: 8 GB = 64k crossbars x 1024 rows -> 64M-row parallelism.
+PAPER_PARALLELISM = 64 * 2**20
+PAPER_FREQUENCY = 300e6
+
+#: The simulated memory used for benchmarking: 64 crossbars x 1024 rows
+#: (64k elements per register). Cycle counts per macro-instruction are
+#: independent of the crossbar count, so Eq. (1) scales them to paper size.
+BENCH_CONFIG = dict(crossbars=64, rows=1024)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@dataclass
+class Fig13Row:
+    benchmark: str
+    cycles: int
+    theoretical: int
+    pypim_tput: float
+    theory_tput: float
+    driver_tput: float
+
+    def format(self) -> str:
+        gap = (self.cycles - self.theoretical) / max(self.theoretical, 1)
+        ratio = self.driver_tput / max(self.pypim_tput, 1e-12)
+        return (
+            f"{self.benchmark:<16} cycles={self.cycles:>9} "
+            f"theory={self.theoretical:>9} gap={gap:7.1%} "
+            f"PyPIM={self.pypim_tput:9.3e} theoryPIM={self.theory_tput:9.3e} "
+            f"driver={self.driver_tput:9.3e} (driver/PyPIM={ratio:5.2f}x)"
+        )
+
+
+_ROWS: List[Fig13Row] = []
+
+
+def record_fig13(name: str, stats, ops: int, driver_micro_per_sec: float) -> Fig13Row:
+    """Derive and register one Figure 13 row from a measured stats delta."""
+    cycles = stats.cycles
+    theory = theoretical_cycles(stats)
+    row = Fig13Row(
+        benchmark=name,
+        cycles=cycles,
+        theoretical=theory,
+        pypim_tput=eq1(ops, cycles, PAPER_FREQUENCY),
+        theory_tput=eq1(ops, max(theory, 1), PAPER_FREQUENCY),
+        driver_tput=ops * driver_micro_per_sec / max(cycles, 1),
+    )
+    _ROWS.append(row)
+    return row
+
+
+@pytest.fixture(scope="session")
+def bench_device():
+    device = pim.init(**BENCH_CONFIG)
+    yield device
+    pim.reset()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ROWS:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    lines = ["Figure 13 reproduction (paper-scale throughput via Eq. 1)", ""]
+    lines += [row.format() for row in _ROWS]
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, "fig13.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,66 @@
+"""Ablation: H-tree hop-latency model for inter-crossbar reduction.
+
+The default cycle metric charges one cycle per move micro-operation (the
+paper's micro-op count). This ablation re-runs inter-crossbar summation
+with the H-tree cost model (one cycle per traversed tree segment of the
+longest pair) across memory sizes, quantifying how much the hierarchical
+interconnect would add to reduction latency.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.arch.config import PIMConfig
+from repro.pim.device import PIMDevice
+from repro.sim.simulator import Simulator
+
+from benchmarks.conftest import RESULTS_DIR
+
+_LINES = []
+
+
+def _reduce_cycles(crossbars: int, move_cost: str) -> int:
+    config = PIMConfig(crossbars=crossbars, rows=64)
+    device = PIMDevice(config)
+    device.simulator = Simulator(config, move_cost=move_cost)
+    device.driver.chip = device.simulator
+    n = config.total_rows
+    data = np.arange(n, dtype=np.int32)
+    tensor = pim.Tensor(device, n, pim.int32)
+    device.load_array(tensor.slot, data, pim.int32)
+    before = device.simulator.stats.cycles
+    result = pim.reduce(tensor)
+    assert result == data.sum()
+    return device.simulator.stats.cycles - before
+
+
+@pytest.mark.parametrize("crossbars", [4, 16, 64])
+def test_htree_cost(benchmark, crossbars):
+    unit = _reduce_cycles(crossbars, "unit")
+
+    def run():
+        return _reduce_cycles(crossbars, "htree")
+
+    htree = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = (htree - unit) / unit
+    _LINES.append(
+        f"{crossbars:3} crossbars: unit={unit:7} cycles  "
+        f"htree={htree:7} cycles  (+{overhead:.2%})"
+    )
+    benchmark.extra_info.update(unit=unit, htree=htree)
+    assert htree >= unit
+
+
+def teardown_module(module):
+    if not _LINES:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(
+        ["H-tree hop-latency ablation (inter-crossbar sum reduction)", ""] + _LINES
+    )
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, "ablation_htree.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,71 @@
+"""Ablation: bit-serial vs bit-parallel (partition) lowering.
+
+Reproduces the partition-parallelism benefit of Section III-D / Figure 4:
+the same macro-instruction is lowered with partitions disabled (pure
+bit-serial element-parallel) and enabled (Kogge-Stone + parallel bitwise),
+and the cycle counts are compared.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.arch.config import PIMConfig
+from repro.driver.driver import Driver
+from repro.isa.dtypes import int32
+from repro.isa.instructions import RInstr, ROp
+from repro.sim.simulator import Simulator
+
+from benchmarks.conftest import RESULTS_DIR
+
+CASES = [
+    ("add", ROp.ADD, 2),
+    ("sub", ROp.SUB, 2),
+    ("bit_and", ROp.BIT_AND, 2),
+    ("bit_or", ROp.BIT_OR, 2),
+    ("bit_xor", ROp.BIT_XOR, 2),
+    ("bit_not", ROp.BIT_NOT, 1),
+]
+
+_LINES = []
+
+
+def cycles_for(op: ROp, arity: int, mode: str) -> int:
+    sim = Simulator(PIMConfig(crossbars=1, rows=1))
+    driver = Driver(sim, parallelism=mode)
+    driver.execute(
+        RInstr(op, int32, dest=2, src_a=0, src_b=1 if arity == 2 else None)
+    )
+    return sim.stats.cycles - 2  # exclude the two mask ops
+
+
+@pytest.mark.parametrize("name,op,arity", CASES, ids=[c[0] for c in CASES])
+def test_parallelism_ablation(benchmark, name, op, arity):
+    serial = cycles_for(op, arity, "serial")
+
+    def run():
+        return cycles_for(op, arity, "parallel")
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = serial / parallel
+    _LINES.append(
+        f"{name:<8} serial={serial:5} cycles  parallel={parallel:5} cycles "
+        f"-> {speedup:5.2f}x"
+    )
+    benchmark.extra_info.update(serial=serial, parallel=parallel,
+                                speedup=f"{speedup:.2f}x")
+    assert parallel < serial
+
+
+def teardown_module(module):
+    if not _LINES:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(
+        ["Partition-parallelism ablation (cycles per 32-bit instruction)", ""]
+        + _LINES
+    )
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, "ablation_parallelism.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,90 @@
+"""Figure 13 (third series) + driver cache ablation.
+
+Measures the host driver's micro-op generation rate into a memory buffer
+(the artifact appendix's methodology: micro-operations rerouted from the
+simulator to ``OPS[...]``), for every representative macro-instruction,
+with the compiled-sequence cache on and off.
+"""
+
+import os
+
+import pytest
+
+from repro.arch.config import PIMConfig
+from repro.driver.throughput import measure_driver_throughput
+from repro.isa.dtypes import float32, int32
+from repro.isa.instructions import ROp
+
+from benchmarks.conftest import BENCH_CONFIG, RESULTS_DIR
+
+CASES = [
+    ("int add", ROp.ADD, int32),
+    ("int mult", ROp.MUL, int32),
+    ("int div", ROp.DIV, int32),
+    ("int <", ROp.LT, int32),
+    ("fp add", ROp.ADD, float32),
+    ("fp mult", ROp.MUL, float32),
+    ("fp div", ROp.DIV, float32),
+]
+
+_LINES = []
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return PIMConfig(**BENCH_CONFIG)
+
+
+@pytest.mark.parametrize("name,op,dtype", CASES, ids=[c[0] for c in CASES])
+def test_driver_throughput(benchmark, cfg, name, op, dtype):
+    iterations = 20_000 if op in (ROp.ADD, ROp.LT) and dtype is int32 else 5_000
+
+    def run():
+        return measure_driver_throughput(
+            cfg, op, dtype, iterations=iterations, unique_sequences=16
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        micro_per_second=f"{result.micro_per_second:.3e}",
+        headroom=f"{result.headroom:.2f}",
+    )
+    _LINES.append(
+        f"{name:<10} cached: {result.micro_per_second:9.3e} uops/s "
+        f"(headroom {result.headroom:5.2f}x vs 300MHz chip)"
+    )
+    assert result.micro_per_second > 1e6
+
+
+def test_cache_ablation(benchmark, cfg):
+    """Cache on vs off: the compiled-sequence cache is what makes a
+    software driver viable (the paper's no-hardware-controller argument)."""
+
+    def run():
+        warm = measure_driver_throughput(
+            cfg, ROp.MUL, float32, iterations=2000, unique_sequences=8
+        )
+        cold = measure_driver_throughput(
+            cfg, ROp.MUL, float32, iterations=48, unique_sequences=48,
+            use_cache=False,
+        )
+        return warm, cold
+
+    warm, cold = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = warm.micro_per_second / cold.micro_per_second
+    _LINES.append(
+        f"cache ablation (fp mult): warm {warm.micro_per_second:9.3e} vs "
+        f"cold {cold.micro_per_second:9.3e} uops/s -> {speedup:.1f}x"
+    )
+    benchmark.extra_info["cache_speedup"] = f"{speedup:.1f}x"
+    assert speedup > 5
+
+
+def teardown_module(module):
+    if not _LINES:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(["Host-driver throughput (buffer-sink methodology)", ""] + _LINES)
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, "driver_throughput.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,88 @@
+"""Regenerate the paper's design/parameter tables (Tables I-III).
+
+Not timing benchmarks in themselves — each test renders one table from
+the implementation (so the artifacts stay in sync with the code) and
+writes it to ``results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.arch.config import PIMConfig, paper_config
+from repro.arch.halfgates import opcode_table
+from repro.isa.dtypes import float32, int32
+from repro.isa.instructions import SUPPORT_MATRIX, ROp
+
+from benchmarks.conftest import BENCH_CONFIG, RESULTS_DIR
+
+
+def _write(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, name), "w") as handle:
+        handle.write(text + "\n")
+
+
+def test_table_i_opcodes(benchmark):
+    def render():
+        table = opcode_table()
+        lines = ["Table I: per-partition opcodes (half-gates technique)", ""]
+        for index in range(8):
+            lines.append(f"  {index:03b}  {table[index]}")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "(InA, InB) -> Out" in text
+    _write("table1_opcodes.txt", text)
+
+
+def test_table_ii_operations(benchmark):
+    order = [
+        ("Arithmetic", [ROp.ADD, ROp.SUB, ROp.MUL, ROp.DIV, ROp.MOD, ROp.NEG]),
+        ("Comparison", [ROp.LT, ROp.LE, ROp.GT, ROp.GE, ROp.EQ, ROp.NE]),
+        ("Bitwise", [ROp.BIT_NOT, ROp.BIT_AND, ROp.BIT_OR, ROp.BIT_XOR]),
+        ("Miscellaneous", [ROp.SIGN, ROp.ZERO, ROp.ABS, ROp.MUX]),
+    ]
+
+    def render():
+        lines = ["Table II: supported R-type operations", ""]
+        lines.append(f"  {'Operation':<16}{'Integer':<10}{'Float'}")
+        for group, ops in order:
+            lines.append(f"  -- {group} --")
+            for op in ops:
+                supported = SUPPORT_MATRIX[op]
+                has_int = "yes" if any(d is int32 for d in supported) else ""
+                has_f = "yes" if any(d is float32 for d in supported) else ""
+                lines.append(f"  {op.value:<16}{has_int:<10}{has_f}")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "mod" in text
+    _write("table2_operations.txt", text)
+
+
+def test_table_iii_parameters(benchmark):
+    def render():
+        paper = paper_config()
+        bench = PIMConfig(**BENCH_CONFIG)
+        lines = [
+            "Table III: evaluation parameters",
+            "",
+            "  Simulated PIM (paper scale):",
+            f"    Memory size:      {paper.capacity_bits / 8 / 2**30:.0f} GB "
+            f"({paper.crossbars} crossbars)",
+            f"    Crossbars:        {paper.rows} x {paper.columns} "
+            f"({paper.partitions} partitions)",
+            f"    Word size (N):    {paper.word_size}",
+            f"    Clock frequency:  {paper.frequency_hz / 1e6:.0f} MHz",
+            "",
+            "  Benchmark memory (this reproduction's simulator):",
+            f"    Crossbars:        {bench.crossbars} x ({bench.rows} x {bench.columns})",
+            f"    Elements/register: {bench.total_rows}",
+        ]
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "300 MHz" in text
+    _write("table3_parameters.txt", text)

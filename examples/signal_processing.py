@@ -1,0 +1,54 @@
+"""Signal processing on PIM: CORDIC synthesis + vectored float math.
+
+Builds a noisy tone directly in PIM using the library's CORDIC sine, then
+estimates its power and peak amplitude with float arithmetic, reductions
+and sorting — the bit-serial element-parallel float pipeline of AritPIM
+driving a realistic DSP-style workload.
+
+Run with::
+
+    python examples/signal_processing.py
+"""
+
+import numpy as np
+
+import repro.pim as pim
+
+
+def main() -> None:
+    pim.init(crossbars=16, rows=256)
+    rng = np.random.default_rng(42)
+    n = 1024
+
+    # Phase ramp for a tone, restricted to CORDIC's [-pi/2, pi/2] domain.
+    phase_h = np.linspace(-np.pi / 2, np.pi / 2, n).astype(np.float32)
+    noise_h = (rng.normal(scale=0.05, size=n)).astype(np.float32)
+
+    phase = pim.from_numpy(phase_h)
+    noise = pim.from_numpy(noise_h)
+
+    with pim.Profiler() as prof:
+        tone = pim.cordic_sin(phase)  # synthesized on the PIM
+        signal = tone + noise
+
+        # Mean power: sum(x^2) / n, computed with PIM mul + reduction.
+        power = (signal * signal).sum() / n
+
+        # Peak magnitude via sort (largest element of |signal|).
+        peak = abs(signal).sort()[-1]
+
+    reference = np.sin(phase_h) + noise_h
+    ref_power = float((reference.astype(np.float64) ** 2).mean())
+    ref_peak = float(np.abs(reference).max())
+
+    print(f"samples:        {n}")
+    print(f"mean power:     {power:.6f}   (numpy: {ref_power:.6f})")
+    print(f"peak amplitude: {peak:.6f}   (numpy: {ref_peak:.6f})")
+    print(f"PIM cycles:     {prof.cycles}")
+    assert abs(power - ref_power) < 1e-3
+    assert abs(peak - ref_peak) < 1e-5
+    print("OK — PIM pipeline matches the CPU reference.")
+
+
+if __name__ == "__main__":
+    main()

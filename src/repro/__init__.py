@@ -1,0 +1,41 @@
+"""PyPIM reproduction: digital processing-in-memory from microarchitecture to Python tensors.
+
+This package re-implements the complete PyPIM stack (MICRO 2024):
+
+- :mod:`repro.arch` — the partition-enabled memristive PIM microarchitecture,
+  its 64-bit micro-operation encoding, the half-gates technique, and the
+  H-tree inter-crossbar communication framework.
+- :mod:`repro.sim` — a bit-accurate, cycle-accurate simulator that executes
+  micro-operations on a condensed strided memory image (the drop-in
+  replacement for a physical PIM chip).
+- :mod:`repro.isa` — the warp/thread instruction-set architecture.
+- :mod:`repro.driver` — the host driver lowering macro-instructions to
+  micro-operations via gate-level arithmetic (the AritPIM suite rebuilt
+  from scratch).
+- :mod:`repro.pim` — the NumPy-like Python tensor library (the paper's
+  development library): tensors, views, dynamic memory management,
+  reductions, sorting, CORDIC.
+- :mod:`repro.theory` — theoretical PIM cycle counts and throughput bounds
+  used by the evaluation.
+
+Quickstart::
+
+    from repro import pim
+
+    x = pim.zeros(8, dtype=pim.float32)
+    x[2] = 2.5
+    print((x * x).sum())
+"""
+
+__all__ = ["pim", "__version__"]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazily import the tensor library (avoids import cycles in tooling)."""
+    if name == "pim":
+        import importlib
+
+        return importlib.import_module("repro.pim")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,116 @@
+"""Hierarchical H-tree inter-crossbar communication (Section III-F).
+
+Crossbars are numbered so that each group of the recursive hierarchy shares
+a binary prefix (e.g. group ``10xx`` contains crossbars 1000..1011). A
+distributed move is described by the crossbar-mask triple
+``(XB_start, XB_step, XB_end)`` — where ``XB_step`` is a power of 4 — plus a
+uniform distance ``XB_dist``; every masked crossbar ``XB`` sends its word to
+``XB + XB_dist``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.masks import RangeMask
+
+
+def _is_power_of(value: int, base: int) -> bool:
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+@dataclass(frozen=True)
+class HTree:
+    """An H-tree over ``crossbars`` leaves (must be a power of two).
+
+    Groups at level ``l`` contain ``4**l`` crossbars sharing a prefix
+    (levels step by factors of 4 as in Figure 9; for crossbar counts that
+    are odd powers of two the top level holds a factor-2 group).
+    """
+
+    crossbars: int
+
+    def __post_init__(self) -> None:
+        if self.crossbars < 1 or (self.crossbars & (self.crossbars - 1)):
+            raise ValueError("crossbars must be a positive power of two")
+
+    @property
+    def levels(self) -> int:
+        """Number of factor-4 levels below the root."""
+        return math.ceil(math.log(self.crossbars, 4)) if self.crossbars > 1 else 0
+
+    def group(self, crossbar: int, level: int) -> range:
+        """The group of ``4**level`` crossbars containing ``crossbar``."""
+        size = min(4**level, self.crossbars)
+        start = (crossbar // size) * size
+        return range(start, start + size)
+
+    def level_for_distance(self, src: int, dst: int) -> int:
+        """Smallest level whose group contains both endpoints.
+
+        This is the height in the tree that a transfer must climb — the
+        latency model charges one hop per level up plus one per level down.
+        """
+        level = 0
+        while self.group(src, level) != self.group(dst, level):
+            level += 1
+        return level
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of H-tree segments traversed between two crossbars."""
+        if src == dst:
+            return 0
+        return 2 * self.level_for_distance(src, dst)
+
+
+def move_pairs(mask: RangeMask, dist: int, crossbars: int) -> List[Tuple[int, int]]:
+    """Expand a masked move into its (source, destination) crossbar pairs."""
+    pairs = []
+    for src in mask.indices():
+        dst = src + dist
+        if not 0 <= dst < crossbars:
+            raise ValueError(f"move destination {dst} out of range")
+        pairs.append((src, dst))
+    return pairs
+
+
+def validate_move_pattern(mask: RangeMask, dist: int, crossbars: int) -> None:
+    """Check a distributed move against the Section III-F restrictions.
+
+    - ``XB_step`` must be a power of 4 (so each pair lives in an aligned
+      sub-tree and the interconnect switches can be set per group);
+    - all destinations must be in range;
+    - a crossbar may not be both a source and a destination in the same
+      operation (the bus drives each segment in one direction per cycle);
+    - no two pairs may share a destination.
+    """
+    if dist == 0:
+        raise ValueError("move distance must be non-zero")
+    if not _is_power_of(mask.step, 4) and len(mask) > 1:
+        raise ValueError("XB_step must be a power of 4")
+    pairs = move_pairs(mask, dist, crossbars)
+    sources = {src for src, _ in pairs}
+    destinations = [dst for _, dst in pairs]
+    if len(set(destinations)) != len(destinations):
+        raise ValueError("move pattern has colliding destinations")
+    overlap = sources.intersection(destinations)
+    if overlap:
+        raise ValueError(f"crossbars {sorted(overlap)} are both source and destination")
+
+
+def move_cycles(mask: RangeMask, dist: int, crossbars: int) -> int:
+    """Latency (cycles) of a distributed move under the H-tree model.
+
+    All pairs transfer concurrently; the operation completes when the pair
+    spanning the most levels finishes, at one cycle per traversed segment.
+    A single-crossbar H-tree degenerates to zero levels.
+    """
+    tree = HTree(crossbars)
+    pairs = move_pairs(mask, dist, crossbars)
+    return max(tree.hop_count(src, dst) for src, dst in pairs)

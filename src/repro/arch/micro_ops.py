@@ -1,0 +1,341 @@
+"""Micro-operations and their 64-bit binary encoding (Figure 5).
+
+The microarchitecture interface consists of 64-bit operations sent from the
+host driver to the on-chip controller, which only buffers and broadcasts
+them to the crossbars. Seven operation kinds exist:
+
+- crossbar mask / row mask (Section III-B),
+- read / write with N-bit strided granularity (Section III-C),
+- horizontal logic with the restricted partition pattern (Section III-D),
+- vertical logic (Section III-E),
+- inter-array move over the H-tree (Section III-F).
+
+The exact bit positions inside the 64-bit word are not published in the
+paper; this module fixes one concrete layout with generous field widths
+(documented per operation) while preserving the paper's counted format size:
+the horizontal-logic payload occupies ``2 + 3*log2(w) + 2*log2(N) = 42``
+bits for the default 1024x1024/32-partition geometry, leaving spare bits as
+the paper notes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class GateType(enum.IntEnum):
+    """Stateful-logic gate types supported by the periphery.
+
+    ``INIT0``/``INIT1`` are constant gates without inputs (akin to writes);
+    ``NOT`` has one input; ``NOR`` has two. Horizontal operations support all
+    four; vertical operations support only ``{INIT0, INIT1, NOT}``
+    (Section III-E).
+    """
+
+    INIT0 = 0
+    INIT1 = 1
+    NOT = 2
+    NOR = 3
+
+
+class _Kind(enum.IntEnum):
+    """3-bit operation-type tag placed in the top bits of the encoding."""
+
+    XB_MASK = 0
+    ROW_MASK = 1
+    READ = 2
+    WRITE = 3
+    LOGIC_H = 4
+    LOGIC_V = 5
+    MOVE = 6
+
+
+@dataclass(frozen=True)
+class CrossbarMaskOp:
+    """Set the crossbar activation bits to the range ``{start..stop..step}``.
+
+    Every crossbar stores a single volatile activation bit which gates all
+    following non-mask operations.
+    """
+
+    start: int
+    stop: int
+    step: int = 1
+
+
+@dataclass(frozen=True)
+class RowMaskOp:
+    """Set the per-crossbar row mask registers to ``{start..stop..step}``.
+
+    The row mask is expanded into a binary enable vector of length ``h``
+    during read/write and horizontal-logic operations.
+    """
+
+    start: int
+    stop: int
+    step: int = 1
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read one N-bit strided word at intra-row ``index``.
+
+    The target crossbar and row must have been selected (down to a single
+    row of a single crossbar) by preceding mask operations. The response is
+    the N-bit word whose bit *i* comes from partition *i* at intra-partition
+    column ``index`` (Figure 6).
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write the N-bit ``value`` at intra-row ``index``.
+
+    Unlike reads, the mask may select multiple rows and crossbars, writing
+    the same word to all of them in parallel (used for constants).
+    """
+
+    index: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 64):
+            raise ValueError("write value must fit in 64 bits")
+
+
+@dataclass(frozen=True)
+class LogicHOp:
+    """A horizontal stateful-logic operation with a partition pattern.
+
+    ``in_a``, ``in_b`` and ``out`` are *intra-partition* column indices,
+    identical across partitions (restriction 1 of Section III-D3). The
+    partition pattern encodes the gates: gate ``k`` (for ``k = 0, 1, ...``)
+    has inputs in partitions ``p_a + k*p_step`` / ``p_b + k*p_step`` and
+    output in partition ``p_out + k*p_step``, up to and including the gate
+    whose output partition equals ``p_end`` (restriction 2). Transistor
+    selects are deduced from the per-partition opcodes (restriction 3), see
+    :mod:`repro.arch.halfgates`.
+
+    Stateful-logic semantics: the output memristor can only be pulled from
+    logical 1 to logical 0, so the executed update is
+    ``out &= gate(inputs)``; the driver is responsible for issuing the
+    preceding ``INIT1`` and those cycles are counted.
+    """
+
+    gate: GateType
+    in_a: int
+    in_b: int
+    out: int
+    p_a: int
+    p_b: int
+    p_out: int
+    p_end: int
+    p_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.p_a > self.p_b:
+            raise ValueError("encoding requires p_a <= p_b; swap NOR inputs")
+        if self.p_step <= 0:
+            raise ValueError("p_step must be positive")
+        if (self.p_end - self.p_out) % self.p_step:
+            raise ValueError("p_step must divide p_end - p_out")
+        if self.p_end < self.p_out:
+            raise ValueError("p_end must be >= p_out")
+
+    @property
+    def gate_count(self) -> int:
+        """Number of concurrent gates encoded by the pattern."""
+        return (self.p_end - self.p_out) // self.p_step + 1
+
+
+@dataclass(frozen=True)
+class LogicVOp:
+    """A vertical stateful-logic operation (Section III-E).
+
+    Transfers data between two rows of the same crossbar: the gate is applied
+    in every partition's column at intra-partition index ``index`` in
+    parallel (N columns at once), from ``in_row`` to ``out_row``. Only
+    ``{INIT0, INIT1, NOT}`` are supported vertically. For ``INIT`` gates,
+    ``in_row`` is ignored.
+    """
+
+    gate: GateType
+    in_row: int
+    out_row: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.gate == GateType.NOR:
+            raise ValueError("vertical operations do not support NOR")
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    """A distributed inter-crossbar move over the H-tree (Section III-F).
+
+    The crossbar mask (set beforehand) identifies the *source* crossbars
+    ``{XB_start..XB_end..XB_step}``; each source crossbar ``XB`` transfers
+    the N-bit word at (``src_row``, ``src_index``) to crossbar
+    ``XB + dist`` at (``dst_row``, ``dst_index``). ``dist`` may be negative
+    (the paper stores ``XB_dest >= 0`` instead; the signed field here is
+    equivalent and validated identically).
+    """
+
+    dist: int
+    src_row: int
+    dst_row: int
+    src_index: int
+    dst_index: int
+
+
+MicroOp = Union[
+    CrossbarMaskOp, RowMaskOp, ReadOp, WriteOp, LogicHOp, LogicVOp, MoveOp
+]
+
+# Field widths (bits) for the concrete binary layout. The tag occupies the
+# top 3 bits of the 64-bit word; payload fields are packed LSB-first in the
+# order listed per operation below.
+_XB_FIELD = 18  # up to 256k crossbars
+_ROW_FIELD = 12  # up to 4096 rows
+_IDX_FIELD = 7  # up to 128 registers (intra-partition indices)
+_PART_FIELD = 6  # up to 64 partitions
+_GATE_FIELD = 2
+
+
+def _pack(fields: "list[tuple[int, int]]", kind: _Kind) -> int:
+    """Pack (value, width) fields LSB-first under a 3-bit kind tag."""
+    word = 0
+    shift = 0
+    for value, width in fields:
+        if not 0 <= value < (1 << width):
+            raise ValueError(f"field value {value} does not fit in {width} bits")
+        word |= value << shift
+        shift += width
+    if shift > 61:
+        raise ValueError("payload exceeds 61 bits")
+    return word | (int(kind) << 61)
+
+
+class _Unpacker:
+    """Sequential LSB-first field reader for a 64-bit operation word."""
+
+    def __init__(self, word: int) -> None:
+        self._word = word
+
+    def take(self, width: int) -> int:
+        value = self._word & ((1 << width) - 1)
+        self._word >>= width
+        return value
+
+
+def encode(op: MicroOp, word_size: int = 32) -> int:
+    """Encode a micro-operation into its 64-bit binary representation.
+
+    ``word_size`` bounds the write-value field (N bits).
+    """
+    if isinstance(op, CrossbarMaskOp):
+        return _pack(
+            [(op.start, _XB_FIELD), (op.stop, _XB_FIELD), (op.step, _XB_FIELD)],
+            _Kind.XB_MASK,
+        )
+    if isinstance(op, RowMaskOp):
+        return _pack(
+            [(op.start, _ROW_FIELD), (op.stop, _ROW_FIELD), (op.step, _ROW_FIELD)],
+            _Kind.ROW_MASK,
+        )
+    if isinstance(op, ReadOp):
+        return _pack([(op.index, _IDX_FIELD)], _Kind.READ)
+    if isinstance(op, WriteOp):
+        if op.value >= (1 << word_size):
+            raise ValueError("write value exceeds word size")
+        return _pack([(op.index, _IDX_FIELD), (op.value, word_size)], _Kind.WRITE)
+    if isinstance(op, LogicHOp):
+        return _pack(
+            [
+                (int(op.gate), _GATE_FIELD),
+                (op.in_a, _IDX_FIELD),
+                (op.in_b, _IDX_FIELD),
+                (op.out, _IDX_FIELD),
+                (op.p_a, _PART_FIELD),
+                (op.p_b, _PART_FIELD),
+                (op.p_out, _PART_FIELD),
+                (op.p_end, _PART_FIELD),
+                (op.p_step, _PART_FIELD),
+            ],
+            _Kind.LOGIC_H,
+        )
+    if isinstance(op, LogicVOp):
+        return _pack(
+            [
+                (int(op.gate), _GATE_FIELD),
+                (op.in_row, _ROW_FIELD),
+                (op.out_row, _ROW_FIELD),
+                (op.index, _IDX_FIELD),
+            ],
+            _Kind.LOGIC_V,
+        )
+    if isinstance(op, MoveOp):
+        # Signed distance stored as sign-magnitude to keep decode trivial.
+        sign = 1 if op.dist < 0 else 0
+        return _pack(
+            [
+                (abs(op.dist), _XB_FIELD),
+                (sign, 1),
+                (op.src_row, _ROW_FIELD),
+                (op.dst_row, _ROW_FIELD),
+                (op.src_index, _IDX_FIELD),
+                (op.dst_index, _IDX_FIELD),
+            ],
+            _Kind.MOVE,
+        )
+    raise TypeError(f"not a micro-operation: {op!r}")
+
+
+def decode(word: int, word_size: int = 32) -> MicroOp:
+    """Decode a 64-bit operation word back into a micro-operation."""
+    if not 0 <= word < (1 << 64):
+        raise ValueError("operation word must fit in 64 bits")
+    kind = _Kind((word >> 61) & 0b111)
+    u = _Unpacker(word & ((1 << 61) - 1))
+    if kind == _Kind.XB_MASK:
+        return CrossbarMaskOp(u.take(_XB_FIELD), u.take(_XB_FIELD), u.take(_XB_FIELD))
+    if kind == _Kind.ROW_MASK:
+        return RowMaskOp(u.take(_ROW_FIELD), u.take(_ROW_FIELD), u.take(_ROW_FIELD))
+    if kind == _Kind.READ:
+        return ReadOp(u.take(_IDX_FIELD))
+    if kind == _Kind.WRITE:
+        return WriteOp(u.take(_IDX_FIELD), u.take(word_size))
+    if kind == _Kind.LOGIC_H:
+        return LogicHOp(
+            GateType(u.take(_GATE_FIELD)),
+            u.take(_IDX_FIELD),
+            u.take(_IDX_FIELD),
+            u.take(_IDX_FIELD),
+            u.take(_PART_FIELD),
+            u.take(_PART_FIELD),
+            u.take(_PART_FIELD),
+            u.take(_PART_FIELD),
+            u.take(_PART_FIELD),
+        )
+    if kind == _Kind.LOGIC_V:
+        return LogicVOp(
+            GateType(u.take(_GATE_FIELD)),
+            u.take(_ROW_FIELD),
+            u.take(_ROW_FIELD),
+            u.take(_IDX_FIELD),
+        )
+    if kind == _Kind.MOVE:
+        magnitude = u.take(_XB_FIELD)
+        sign = u.take(1)
+        return MoveOp(
+            -magnitude if sign else magnitude,
+            u.take(_ROW_FIELD),
+            u.take(_ROW_FIELD),
+            u.take(_IDX_FIELD),
+            u.take(_IDX_FIELD),
+        )
+    raise ValueError(f"unknown operation kind {kind}")

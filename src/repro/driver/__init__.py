@@ -1,0 +1,25 @@
+"""Host driver: lowering ISA macro-instructions into micro-operations.
+
+Section V-B of the paper: the driver translates abstract macro-instructions
+(e.g. a floating-point register multiply) into the NOR/NOT/INIT
+micro-operation sequences of the microarchitecture. The arithmetic routines
+re-implement the AritPIM suite from scratch:
+
+- :mod:`repro.driver.gates` — the gate-level builder (scratch wires,
+  stateful-logic primitives, init accounting);
+- :mod:`repro.driver.bitvec` — bit-vector combinators (adders, shifters
+  with sticky collection, comparators, normalizers, rounding);
+- :mod:`repro.driver.fixed` — fixed-point (two's-complement) routines;
+- :mod:`repro.driver.floating` — IEEE-754 binary32 routines;
+- :mod:`repro.driver.parallel` — bit-parallel (partition) fast paths;
+- :mod:`repro.driver.driver` — the :class:`Driver` itself, with its
+  compiled-sequence cache;
+- :mod:`repro.driver.throughput` — the driver-throughput measurement
+  harness (micro-ops rerouted to a memory buffer, Section VI-B / artifact
+  appendix).
+"""
+
+from repro.driver.driver import Driver, BufferSink
+from repro.driver.gates import GateBuilder, ScratchOverflow
+
+__all__ = ["Driver", "BufferSink", "GateBuilder", "ScratchOverflow"]

@@ -1,0 +1,410 @@
+"""The host driver: macro-instructions in, micro-operations out.
+
+The driver is the software replacement for the on-chip controllers of
+previous works (Section V-B): it lowers each ISA macro-instruction into the
+stateful-logic micro-operation sequence of the microarchitecture and
+forwards the stream to the chip (the simulator, or any sink implementing
+``execute``).
+
+Because lowering is deterministic in the register operands, the driver
+keeps a *compiled-sequence cache*: the micro-op body of an R-type
+instruction is generated once per (op, dtype, registers) and replayed on
+later calls with fresh mask operations prepended. This is what makes the
+Python driver fast enough to outpace the PIM chip's consumption rate (the
+claim benchmarked in ``benchmarks/test_driver_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.config import PIMConfig
+from repro.arch.masks import RangeMask
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    LogicVOp,
+    MicroOp,
+    MoveOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+    encode,
+)
+from repro.driver import fixed, floating, parallel
+from repro.driver.gates import GateBuilder
+from repro.isa.instructions import (
+    Instruction,
+    MoveInstr,
+    ReadInstr,
+    RInstr,
+    ROp,
+    WriteInstr,
+    validate,
+)
+
+
+class BufferSink:
+    """A chip stand-in that encodes micro-ops into a bounded ring buffer.
+
+    Mirrors the paper's driver-throughput methodology (artifact appendix):
+    micro-operations are rerouted to a memory buffer instead of the
+    simulator, so the measured time is purely the host's generation cost.
+    Exposes :meth:`execute_batch` so the driver can DMA pre-encoded cached
+    sequences instead of re-encoding them operation by operation.
+    """
+
+    def __init__(self, config: PIMConfig, capacity: int = 100_000):
+        import numpy as np
+
+        self.config = config
+        self.buffer = np.zeros(capacity, dtype=np.uint64)
+        self.count = 0
+
+    def execute(self, op: MicroOp) -> Optional[int]:
+        self.buffer[self.count % len(self.buffer)] = encode(op, self.config.word_size)
+        self.count += 1
+        if isinstance(op, ReadOp):
+            return 0
+        return None
+
+    def execute_batch(self, words) -> None:
+        """Copy a pre-encoded operation block into the ring buffer."""
+        capacity = len(self.buffer)
+        size = len(words)
+        start = self.count % capacity
+        take = min(size, capacity - start)
+        self.buffer[start : start + take] = words[:take]
+        if take < size:
+            rest = min(size - take, capacity)
+            self.buffer[:rest] = words[size - rest : size]
+        self.count += size
+
+
+class Driver:
+    """Translates macro-instructions into micro-operations (Section V-B).
+
+    Args:
+        chip: the micro-op consumer (a :class:`repro.sim.Simulator` or a
+            :class:`BufferSink`); must expose ``execute(op)``.
+        config: architecture parameters (defaults to the chip's config).
+        parallelism: ``"parallel"`` uses the partition-based fast paths for
+            addition/subtraction and bitwise operations (the paper's
+            configuration); ``"serial"`` forces the bit-serial suite
+            everywhere (the parallelism ablation).
+        cache_size: maximum number of compiled R-type bodies to retain.
+        guard: enable gate-level lifetime checking (slow; for tests).
+    """
+
+    #: The two scratch registers used as staging columns by move lowering.
+    _MOVE_STAGE = 2
+
+    def __init__(
+        self,
+        chip,
+        config: Optional[PIMConfig] = None,
+        parallelism: str = "parallel",
+        cache_size: int = 4096,
+        guard: bool = False,
+    ):
+        if parallelism not in ("parallel", "serial"):
+            raise ValueError("parallelism must be 'parallel' or 'serial'")
+        self.chip = chip
+        self.config = config if config is not None else chip.config
+        self.parallelism = parallelism
+        self.guard = guard
+        self.cache_enabled = cache_size > 0
+        self._cache: "OrderedDict[Tuple, Tuple[MicroOp, ...]]" = OrderedDict()
+        self._cache_size = max(cache_size, 1)
+        self._encoded_cache: Dict[Tuple, "object"] = {}
+        self._mask_cache: Dict[Tuple, "object"] = {}
+        self.macro_count = 0
+        self.micro_count = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def execute(self, instr: Instruction) -> Optional[int]:
+        """Lower one macro-instruction and forward it to the chip.
+
+        Returns the read word for :class:`ReadInstr`, otherwise ``None``.
+        When the chip supports batched transfer (``execute_batch``, e.g.
+        :class:`BufferSink`), cached R-type bodies are shipped as
+        pre-encoded 64-bit word blocks — the DMA-style path a production
+        host driver uses, and what the throughput benchmark measures.
+        """
+        if isinstance(instr, RInstr) and hasattr(self.chip, "execute_batch"):
+            return self._execute_rtype_batched(instr)
+        ops = self.lower(instr)
+        response: Optional[int] = None
+        for op in ops:
+            result = self.chip.execute(op)
+            if result is not None:
+                response = result
+        return response
+
+    def _execute_rtype_batched(self, instr: RInstr) -> None:
+        import numpy as np
+
+        validate(instr, self.config.registers)
+        self.macro_count += 1
+        key = (
+            instr.op, instr.dtype.name, instr.dest, instr.sources(),
+            self.parallelism,
+        )
+        words = self._encoded_cache.get(key) if self.cache_enabled else None
+        if words is None:
+            ops: List[MicroOp] = []
+            builder = GateBuilder(self.config, ops.append, guard=self.guard)
+            self._build_rtype(builder, instr)
+            words = np.array(
+                [encode(op, self.config.word_size) for op in ops],
+                dtype=np.uint64,
+            )
+            if self.cache_enabled:
+                self._encoded_cache[key] = words
+                if len(self._encoded_cache) > self._cache_size:
+                    self._encoded_cache.pop(next(iter(self._encoded_cache)))
+        else:
+            self.cache_hits += 1
+
+        mask_key = (instr.warp_mask, instr.row_mask)
+        mask_words = self._mask_cache.get(mask_key)
+        if mask_words is None:
+            mask_words = np.array(
+                [
+                    encode(op, self.config.word_size)
+                    for op in self._mask_ops(instr.warp_mask, instr.row_mask)
+                ],
+                dtype=np.uint64,
+            )
+            if len(self._mask_cache) < 4096:
+                self._mask_cache[mask_key] = mask_words
+        self.chip.execute_batch(mask_words)
+        self.chip.execute_batch(words)
+        self.micro_count += len(words) + len(mask_words)
+
+    def lower(self, instr: Instruction) -> List[MicroOp]:
+        """Produce the full micro-operation sequence for an instruction."""
+        validate(instr, self.config.registers)
+        self.macro_count += 1
+        if isinstance(instr, RInstr):
+            ops = self._lower_rtype(instr)
+        elif isinstance(instr, MoveInstr):
+            ops = self._lower_move(instr)
+        elif isinstance(instr, ReadInstr):
+            ops = self._lower_read(instr)
+        elif isinstance(instr, WriteInstr):
+            ops = self._lower_write(instr)
+        else:
+            raise TypeError(f"not an instruction: {instr!r}")
+        self.micro_count += len(ops)
+        return ops
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+    def _mask_ops(
+        self, warp_mask: Optional[RangeMask], row_mask: Optional[RangeMask]
+    ) -> List[MicroOp]:
+        warps = warp_mask or RangeMask.all(self.config.crossbars)
+        rows = row_mask or RangeMask.all(self.config.rows)
+        return [
+            CrossbarMaskOp(warps.start, warps.stop, warps.step),
+            RowMaskOp(rows.start, rows.stop, rows.step),
+        ]
+
+    # ------------------------------------------------------------------
+    # R-type
+    # ------------------------------------------------------------------
+    def _lower_rtype(self, instr: RInstr) -> List[MicroOp]:
+        key = (
+            instr.op,
+            instr.dtype.name,
+            instr.dest,
+            instr.sources(),
+            self.parallelism,
+        )
+        body = self._cache.get(key) if self.cache_enabled else None
+        if body is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+        else:
+            ops: List[MicroOp] = []
+            builder = GateBuilder(self.config, ops.append, guard=self.guard)
+            self._build_rtype(builder, instr)
+            body = tuple(ops)
+            if self.cache_enabled:
+                self._cache[key] = body
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return self._mask_ops(instr.warp_mask, instr.row_mask) + list(body)
+
+    def _build_rtype(self, gb: GateBuilder, instr: RInstr) -> None:
+        op, dest = instr.op, instr.dest
+        a, b, c = instr.src_a, instr.src_b, instr.src_c
+        is_float = instr.dtype.is_float
+        use_parallel = self.parallelism == "parallel"
+
+        if op in (ROp.BIT_NOT, ROp.BIT_AND, ROp.BIT_OR, ROp.BIT_XOR):
+            if use_parallel:
+                parallel.lower_bitwise_parallel(gb, op.value, dest, a, b)
+            else:
+                fixed.lower_bitwise(gb, op.value, dest, a, b)
+        elif op == ROp.MUX:
+            fixed.lower_mux(gb, dest, a, b, c)
+        elif op == ROp.COPY:
+            fixed.lower_copy(gb, dest, a)
+        elif is_float:
+            self._build_float(gb, op, dest, a, b)
+        else:
+            self._build_int(gb, op, dest, a, b, use_parallel)
+
+    def _build_int(
+        self, gb: GateBuilder, op: ROp, dest: int, a: int, b: Optional[int],
+        use_parallel: bool,
+    ) -> None:
+        if op in (ROp.ADD, ROp.SUB):
+            subtract = op == ROp.SUB
+            if use_parallel and dest not in (a, b):
+                parallel.lower_add_parallel(gb, dest, a, b, subtract)
+            else:
+                fixed.lower_add(gb, dest, a, b, subtract)
+        elif op == ROp.MUL:
+            fixed.lower_mul(gb, dest, a, b)
+        elif op in (ROp.DIV, ROp.MOD):
+            fixed.lower_divmod(gb, op.value, dest, a, b)
+        elif op == ROp.NEG:
+            fixed.lower_neg(gb, dest, a)
+        elif op == ROp.ABS:
+            fixed.lower_abs(gb, dest, a)
+        elif op == ROp.SIGN:
+            fixed.lower_sign(gb, dest, a)
+        elif op == ROp.ZERO:
+            fixed.lower_zero(gb, dest, a)
+        elif op in (ROp.LT, ROp.LE, ROp.GT, ROp.GE, ROp.EQ, ROp.NE):
+            fixed.lower_compare(gb, op.value, dest, a, b)
+        else:
+            raise ValueError(f"unsupported integer op {op}")
+
+    def _build_float(
+        self, gb: GateBuilder, op: ROp, dest: int, a: int, b: Optional[int]
+    ) -> None:
+        if op in (ROp.ADD, ROp.SUB):
+            floating.lower_fadd(gb, dest, a, b, subtract=op == ROp.SUB)
+        elif op == ROp.MUL:
+            floating.lower_fmul(gb, dest, a, b)
+        elif op == ROp.DIV:
+            floating.lower_fdiv(gb, dest, a, b)
+        elif op == ROp.NEG:
+            floating.lower_fneg(gb, dest, a)
+        elif op == ROp.ABS:
+            floating.lower_fabs(gb, dest, a)
+        elif op == ROp.SIGN:
+            floating.lower_fsign(gb, dest, a)
+        elif op == ROp.ZERO:
+            floating.lower_fzero(gb, dest, a)
+        elif op in (ROp.LT, ROp.LE, ROp.GT, ROp.GE, ROp.EQ, ROp.NE):
+            floating.lower_fcompare(gb, op.value, dest, a, b)
+        else:
+            raise ValueError(f"unsupported float op {op}")
+
+    # ------------------------------------------------------------------
+    # Moves (thread-to-thread data transfer, Section III-E/F)
+    # ------------------------------------------------------------------
+    def _stage_registers(self) -> Tuple[int, int]:
+        regs = list(self.config.scratch_register_indices())
+        return regs[-1], regs[-2]
+
+    def _lower_move(self, instr: MoveInstr) -> List[MicroOp]:
+        cfg = self.config
+        stage1, stage2 = self._stage_registers()
+        warps = instr.warp_mask or RangeMask.all(cfg.crossbars)
+        ops: List[MicroOp] = []
+
+        def init_column(reg: int) -> MicroOp:
+            return LogicHOp(
+                GateType.INIT1, in_a=0, in_b=0, out=reg,
+                p_a=0, p_b=0, p_out=0, p_end=cfg.partitions - 1, p_step=1,
+            )
+
+        def not_column(src: int, dst: int) -> MicroOp:
+            return LogicHOp(
+                GateType.NOT, in_a=src, in_b=src, out=dst,
+                p_a=0, p_b=0, p_out=0, p_end=cfg.partitions - 1, p_step=1,
+            )
+
+        if instr.warp_dist == 0 and instr.src_thread == instr.dst_thread:
+            # Same thread: a pure register-to-register copy (two parallel
+            # NOT gates through a staging column, row-masked).
+            if instr.src_reg == instr.dst_reg:
+                return ops
+            ops.append(CrossbarMaskOp(warps.start, warps.stop, warps.step))
+            ops.append(RowMaskOp(instr.src_thread, instr.src_thread, 1))
+            ops.append(init_column(stage1))
+            ops.append(not_column(instr.src_reg, stage1))
+            ops.append(init_column(instr.dst_reg))
+            ops.append(not_column(stage1, instr.dst_reg))
+            return ops
+
+        if instr.warp_dist == 0:
+            # Intra-warp: horizontal copy to a staging column at the source
+            # row, a vertical NOT pair to the destination row, then a
+            # horizontal fix-up into the destination register (four NOT
+            # gates in total, so the value parity is preserved).
+            ops.append(CrossbarMaskOp(warps.start, warps.stop, warps.step))
+            ops.append(RowMaskOp(instr.src_thread, instr.src_thread, 1))
+            ops.append(init_column(stage1))
+            ops.append(not_column(instr.src_reg, stage1))  # stage1 = ~v
+            ops.append(LogicVOp(GateType.INIT1, 0, instr.dst_thread, stage1))
+            ops.append(
+                LogicVOp(GateType.NOT, instr.src_thread, instr.dst_thread, stage1)
+            )  # stage1@dst = v
+            ops.append(RowMaskOp(instr.dst_thread, instr.dst_thread, 1))
+            ops.append(init_column(stage2))
+            ops.append(not_column(stage1, stage2))  # stage2 = ~v
+            ops.append(init_column(instr.dst_reg))
+            ops.append(not_column(stage2, instr.dst_reg))  # dst = v
+            return ops
+
+        # Inter-warp: the H-tree move writes the source word directly into
+        # the staging column of the destination warps (a plain overwrite),
+        # then a NOT pair lands it in the destination register.
+        ops.append(CrossbarMaskOp(warps.start, warps.stop, warps.step))
+        ops.append(
+            MoveOp(
+                instr.warp_dist,
+                instr.src_thread,
+                instr.dst_thread,
+                instr.src_reg,
+                stage1,
+            )
+        )
+        dest_warps = RangeMask(
+            warps.start + instr.warp_dist, warps.stop + instr.warp_dist, warps.step
+        )
+        ops.append(CrossbarMaskOp(dest_warps.start, dest_warps.stop, dest_warps.step))
+        ops.append(RowMaskOp(instr.dst_thread, instr.dst_thread, 1))
+        ops.append(init_column(stage2))
+        ops.append(not_column(stage1, stage2))  # stage2 = ~v
+        ops.append(init_column(instr.dst_reg))
+        ops.append(not_column(stage2, instr.dst_reg))  # dst = v
+        return ops
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def _lower_read(self, instr: ReadInstr) -> List[MicroOp]:
+        return [
+            CrossbarMaskOp(instr.warp, instr.warp, 1),
+            RowMaskOp(instr.thread, instr.thread, 1),
+            ReadOp(instr.reg),
+        ]
+
+    def _lower_write(self, instr: WriteInstr) -> List[MicroOp]:
+        return self._mask_ops(instr.warp_mask, instr.row_mask) + [
+            WriteOp(instr.reg, instr.value)
+        ]

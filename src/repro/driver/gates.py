@@ -1,0 +1,406 @@
+"""Gate-level builder: the driver's interface to stateful logic.
+
+A *cell* is one memristor addressed as ``(register, partition)`` within the
+current row — every gate emitted here executes element-parallel across all
+rows activated by the surrounding mask operations, which is exactly the
+bit-serial element-parallel model of Section II-B.
+
+Stateful logic can only pull an output memristor from logical 1 to logical
+0, so every gate output must be initialized first. The builder accounts for
+these ``INIT1`` cycles honestly while amortizing them: scratch cells are
+handed out from whole *columns* (one register across all partitions) that
+are bulk-initialized with a single micro-operation whenever the entire
+column is reusable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.arch.config import PIMConfig
+from repro.arch.micro_ops import GateType, LogicHOp, MicroOp
+
+#: A memristor address within a row: (register index, partition index).
+Cell = Tuple[int, int]
+
+
+class ScratchOverflow(Exception):
+    """Raised when an instruction needs more driver scratch cells than exist."""
+
+
+def _arith_runs(values: List[int]) -> List[Tuple[int, int, int]]:
+    """Split a sorted integer list into (start, stop, step) arithmetic runs."""
+    runs = []
+    index = 0
+    n = len(values)
+    while index < n:
+        start = values[index]
+        if index + 1 >= n:
+            runs.append((start, start, 1))
+            break
+        step = values[index + 1] - start
+        stop_idx = index + 1
+        while stop_idx + 1 < n and values[stop_idx + 1] - values[stop_idx] == step:
+            stop_idx += 1
+        runs.append((start, values[stop_idx], step))
+        index = stop_idx + 1
+    return runs
+
+
+class GateError(Exception):
+    """Raised on invalid gate usage (aliasing, read-after-free, ...)."""
+
+
+class GateBuilder:
+    """Emits stateful-logic micro-operations for one macro-instruction.
+
+    Args:
+        config: architecture parameters (defines partitions and scratch).
+        emit: callback receiving each generated :class:`MicroOp` in order.
+        scratch_registers: register indices the builder may use for
+            temporaries; defaults to the config's reserved scratch range.
+        guard: when True, track cell lifetimes and raise :class:`GateError`
+            on use-after-free (slower; enabled in tests).
+    """
+
+    def __init__(
+        self,
+        config: PIMConfig,
+        emit: Callable[[MicroOp], None],
+        scratch_registers: Optional[List[int]] = None,
+        guard: bool = False,
+    ):
+        self.config = config
+        self.emit = emit
+        self.guard = guard
+        if scratch_registers is None:
+            scratch_registers = list(config.scratch_register_indices())
+        if not scratch_registers:
+            raise ValueError("the builder needs at least one scratch register")
+        self._scratch_regs = list(scratch_registers)
+        parts = config.partitions
+        # Per-column state: free cells and dirty cells (value unknown, needs
+        # INIT1 before reuse as a gate output). Everything starts dirty.
+        self._free = {reg: set(range(parts)) for reg in self._scratch_regs}
+        self._dirty = {reg: set(range(parts)) for reg in self._scratch_regs}
+        self._reserved_columns: List[int] = []
+        self._freed_guard: set = set()
+        # Shared constant cells, created lazily (never freed).
+        self._const_cells: dict = {}
+        self._protected: set = set()
+
+    # ------------------------------------------------------------------
+    # Scratch management
+    # ------------------------------------------------------------------
+    @property
+    def free_cell_count(self) -> int:
+        """Currently available scratch cells (for tests and sizing checks)."""
+        return sum(len(free) for free in self._free.values())
+
+    def alloc(self) -> Cell:
+        """Claim one scratch cell, initialized to logical 1 (gate-ready)."""
+        parts = self.config.partitions
+        # Prefer a clean free cell (no init needed).
+        for reg in self._scratch_regs:
+            clean = self._free[reg] - self._dirty[reg]
+            if clean:
+                part = min(clean)
+                return self._take(reg, part)
+        # Next, bulk-initialize a fully-free column with one micro-op.
+        for reg in self._scratch_regs:
+            if len(self._free[reg]) == parts and self._dirty[reg]:
+                self.init_column(reg, 1)
+                self._dirty[reg].clear()
+                return self._take(reg, min(self._free[reg]))
+        # Otherwise, batch-clean the column holding the most reclaimable
+        # cells: its free-and-dirty set is re-initialized with strided
+        # INIT1 runs, amortizing init cycles over many future allocs.
+        best = max(
+            self._scratch_regs,
+            key=lambda reg: len(self._free[reg] & self._dirty[reg]),
+        )
+        reclaimable = sorted(self._free[best] & self._dirty[best])
+        if reclaimable:
+            for start, stop, step in _arith_runs(reclaimable):
+                self.emit(
+                    LogicHOp(
+                        GateType.INIT1, in_a=0, in_b=0, out=best,
+                        p_a=0, p_b=0, p_out=start, p_end=stop, p_step=step,
+                    )
+                )
+            self._dirty[best].difference_update(reclaimable)
+            return self._take(best, reclaimable[0])
+        raise ScratchOverflow(
+            f"out of scratch cells ({len(self._scratch_regs)} columns x "
+            f"{parts} partitions all live)"
+        )
+
+    def _take(self, reg: int, part: int) -> Cell:
+        self._free[reg].discard(part)
+        cell = (reg, part)
+        self._freed_guard.discard(cell)
+        return cell
+
+    def alloc_bits(self, count: int) -> List[Cell]:
+        """Claim ``count`` scratch cells (LSB-first bit vector)."""
+        return [self.alloc() for _ in range(count)]
+
+    def free(self, cell: Cell) -> None:
+        """Release a scratch cell (its value becomes undefined).
+
+        Freeing a register-file cell (tensor data) or a shared constant
+        cell is a no-op, so callers may free whole bit vectors that mix
+        scratch with aliased constants.
+        """
+        reg, part = cell
+        if reg not in self._free or cell in self._protected:
+            return
+        if self.guard and part in self._free[reg]:
+            raise GateError(f"double free of cell {cell}")
+        self._free[reg].add(part)
+        self._dirty[reg].add(part)
+        self._freed_guard.add(cell)
+
+    def free_bits(self, cells: List[Cell]) -> None:
+        """Release a vector of scratch cells."""
+        for cell in cells:
+            self.free(cell)
+
+    def reserve_column(self) -> int:
+        """Claim an entire scratch register for partition-parallel routines.
+
+        Returns the register index; all its cells leave the cell pool. The
+        column is *not* initialized (bit-parallel routines init explicitly).
+        """
+        parts = self.config.partitions
+        for reg in self._scratch_regs:
+            if len(self._free[reg]) == parts:
+                self._free[reg].clear()
+                self._reserved_columns.append(reg)
+                return reg
+        raise ScratchOverflow("no fully-free scratch column available")
+
+    def release_column(self, reg: int) -> None:
+        """Return a reserved scratch register to the cell pool."""
+        if reg not in self._reserved_columns:
+            raise GateError(f"register {reg} was not reserved")
+        self._reserved_columns.remove(reg)
+        parts = self.config.partitions
+        self._free[reg] = set(range(parts))
+        self._dirty[reg] = set(range(parts))
+
+    def const(self, bit: int) -> Cell:
+        """A shared constant cell holding ``bit`` (read-only, never freed)."""
+        bit = 1 if bit else 0
+        if bit not in self._const_cells:
+            cell = self.alloc()
+            if bit == 0:
+                self._emit_init_cell(cell[0], cell[1], 0)
+            self._const_cells[bit] = cell
+            self._protected.add(cell)
+        return self._const_cells[bit]
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def init_column(self, reg: int, value: int) -> None:
+        """Bulk-initialize one register across all partitions (1 micro-op)."""
+        gate = GateType.INIT1 if value else GateType.INIT0
+        self.emit(
+            LogicHOp(
+                gate,
+                in_a=0,
+                in_b=0,
+                out=reg,
+                p_a=0,
+                p_b=0,
+                p_out=0,
+                p_end=self.config.partitions - 1,
+                p_step=1,
+            )
+        )
+
+    def _emit_init_cell(self, reg: int, part: int, value: int) -> None:
+        gate = GateType.INIT1 if value else GateType.INIT0
+        self.emit(
+            LogicHOp(
+                gate, in_a=0, in_b=0, out=reg, p_a=0, p_b=0,
+                p_out=part, p_end=part, p_step=1,
+            )
+        )
+
+    def init_cell(self, cell: Cell, value: int) -> None:
+        """Initialize a single cell (1 micro-op)."""
+        self._emit_init_cell(cell[0], cell[1], value)
+
+    def _check_read(self, *cells: Cell) -> None:
+        if not self.guard:
+            return
+        for cell in cells:
+            if cell in self._freed_guard:
+                raise GateError(f"read of freed cell {cell}")
+
+    # ------------------------------------------------------------------
+    # Primitive gates (functional outputs allocate scratch)
+    # ------------------------------------------------------------------
+    def nor_into(self, a: Cell, b: Cell, out: Cell) -> None:
+        """``out &= NOR(a, b)`` — out must be freshly initialized to 1."""
+        self._check_read(a, b)
+        if out == a or out == b:
+            raise GateError("gate output must differ from its inputs")
+        if a == b:
+            self.not_into(a, out)
+            return
+        (reg_a, p_a), (reg_b, p_b) = a, b
+        if p_a > p_b:
+            (reg_a, p_a), (reg_b, p_b) = (reg_b, p_b), (reg_a, p_a)
+        self.emit(
+            LogicHOp(
+                GateType.NOR,
+                in_a=reg_a, in_b=reg_b, out=out[0],
+                p_a=p_a, p_b=p_b, p_out=out[1], p_end=out[1], p_step=1,
+            )
+        )
+
+    def not_into(self, a: Cell, out: Cell) -> None:
+        """``out &= NOT(a)`` — out must be freshly initialized to 1."""
+        self._check_read(a)
+        if out == a:
+            raise GateError("gate output must differ from its input")
+        self.emit(
+            LogicHOp(
+                GateType.NOT,
+                in_a=a[0], in_b=a[0], out=out[0],
+                p_a=a[1], p_b=a[1], p_out=out[1], p_end=out[1], p_step=1,
+            )
+        )
+
+    def nor(self, a: Cell, b: Cell) -> Cell:
+        """NOR of two cells into a fresh scratch cell."""
+        out = self.alloc()
+        self.nor_into(a, b, out)
+        return out
+
+    def not_(self, a: Cell) -> Cell:
+        """NOT of a cell into a fresh scratch cell."""
+        out = self.alloc()
+        self.not_into(a, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived gates
+    # ------------------------------------------------------------------
+    def or_(self, a: Cell, b: Cell) -> Cell:
+        """OR — NOR followed by NOT (2 gates)."""
+        t = self.nor(a, b)
+        out = self.not_(t)
+        self.free(t)
+        return out
+
+    def and_(self, a: Cell, b: Cell) -> Cell:
+        """AND — NOR of the complements (3 gates)."""
+        na, nb = self.not_(a), self.not_(b)
+        out = self.nor(na, nb)
+        self.free_bits([na, nb])
+        return out
+
+    def xnor(self, a: Cell, b: Cell) -> Cell:
+        """XNOR — the classic 4-NOR network."""
+        n1 = self.nor(a, b)
+        n2 = self.nor(a, n1)
+        n3 = self.nor(b, n1)
+        out = self.nor(n2, n3)
+        self.free_bits([n1, n2, n3])
+        return out
+
+    def xor(self, a: Cell, b: Cell) -> Cell:
+        """XOR — XNOR plus an inverter (5 gates)."""
+        t = self.xnor(a, b)
+        out = self.not_(t)
+        self.free(t)
+        return out
+
+    def mux(self, cond: Cell, if_true: Cell, if_false: Cell) -> Cell:
+        """``cond ? if_true : if_false`` — NOR(NOR(a, ~c), NOR(b, c))."""
+        nc = self.not_(cond)
+        t1 = self.nor(if_true, nc)
+        t2 = self.nor(if_false, cond)
+        out = self.nor(t1, t2)
+        self.free_bits([nc, t1, t2])
+        return out
+
+    def copy(self, a: Cell) -> Cell:
+        """Copy a cell's value into a fresh scratch cell (2 NOT gates)."""
+        t = self.not_(a)
+        out = self.not_(t)
+        self.free(t)
+        return out
+
+    def copy_into(self, a: Cell, out: Cell) -> None:
+        """Copy a cell's value into a freshly-initialized target cell."""
+        t = self.not_(a)
+        self.not_into(t, out)
+        self.free(t)
+
+    def full_adder(self, a: Cell, b: Cell, cin: Cell) -> Tuple[Cell, Cell]:
+        """The 9-NOR full adder of AritPIM; returns ``(sum, carry_out)``."""
+        n1 = self.nor(a, b)
+        n2 = self.nor(a, n1)
+        n3 = self.nor(b, n1)
+        n4 = self.nor(n2, n3)  # XNOR(a, b)
+        n5 = self.nor(n4, cin)
+        n6 = self.nor(n4, n5)
+        n7 = self.nor(cin, n5)
+        total = self.nor(n6, n7)  # XNOR(XNOR(a, b), cin) = sum
+        cout = self.nor(n1, n5)
+        self.free_bits([n1, n2, n3, n4, n5, n6, n7])
+        return total, cout
+
+    # ------------------------------------------------------------------
+    # Destination-register helpers
+    # ------------------------------------------------------------------
+    def register_cells(self, reg: int) -> List[Cell]:
+        """The LSB-first cell vector of a data register (read-only view)."""
+        return [(reg, part) for part in range(self.config.partitions)]
+
+    def write_register(self, cells: List[Cell], dest_reg: int) -> None:
+        """Materialize a computed bit vector into a destination register.
+
+        Bulk-initializes the destination column, then copies each bit with
+        two NOT gates. Alias-safe: source cells living in the destination
+        register are staged through scratch copies first.
+        """
+        if len(cells) != self.config.partitions:
+            raise GateError(
+                f"need {self.config.partitions} bits, got {len(cells)}"
+            )
+        staged = []
+        sources = []
+        for cell in cells:
+            if cell[0] == dest_reg:
+                copy = self.copy(cell)
+                staged.append(copy)
+                sources.append(copy)
+            else:
+                sources.append(cell)
+        self.init_column(dest_reg, 1)
+        for part, cell in enumerate(sources):
+            self.copy_into(cell, (dest_reg, part))
+        self.free_bits(staged)
+
+    def not_column(self, src_reg: int, dst_reg: int) -> None:
+        """Partition-parallel NOT of a whole register (1 micro-op).
+
+        The N concurrent gates each stay within their own partition, so the
+        sections are trivially disjoint.
+        """
+        if src_reg == dst_reg:
+            raise GateError("parallel NOT output must differ from its input")
+        self.emit(
+            LogicHOp(
+                GateType.NOT,
+                in_a=src_reg, in_b=src_reg, out=dst_reg,
+                p_a=0, p_b=0, p_out=0,
+                p_end=self.config.partitions - 1, p_step=1,
+            )
+        )

@@ -1,0 +1,36 @@
+"""Instruction-set architecture: warps of threads over memory registers.
+
+Section IV of the paper: crossbars are abstracted as *warps* whose rows are
+*threads*, each thread holding ``R`` N-bit registers that *are* the memory.
+The ISA has R-type (register) instructions executed in parallel across
+activated threads, move instructions for intra-/inter-warp data transfer,
+and standard read/write instructions.
+"""
+
+from repro.isa.dtypes import DType, int32, float32, raw_to_value, value_to_raw
+from repro.isa.instructions import (
+    ROp,
+    RInstr,
+    MoveInstr,
+    ReadInstr,
+    WriteInstr,
+    Instruction,
+    SUPPORT_MATRIX,
+    validate,
+)
+
+__all__ = [
+    "DType",
+    "int32",
+    "float32",
+    "raw_to_value",
+    "value_to_raw",
+    "ROp",
+    "RInstr",
+    "MoveInstr",
+    "ReadInstr",
+    "WriteInstr",
+    "Instruction",
+    "SUPPORT_MATRIX",
+    "validate",
+]

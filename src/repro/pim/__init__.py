@@ -1,0 +1,65 @@
+"""The PyPIM development library: NumPy-style tensors on digital PIM.
+
+This is the paper's Python development library (Section V-A): a drop-in
+tensor interface whose element-wise operations, reductions, sorting and
+data movement are lowered through the host driver into digital-PIM
+micro-operations executed by the bit-accurate simulator.
+
+Quickstart (Figure 12 of the paper)::
+
+    import repro.pim as pim
+
+    def my_func(a: pim.Tensor, b: pim.Tensor):
+        return a * b + a
+
+    x = pim.zeros(1024, dtype=pim.float32)
+    y = pim.zeros(1024, dtype=pim.float32)
+    x[4], y[4] = 8.0, 0.5
+    z = my_func(x, y)
+    print(z[::2].sum())
+"""
+
+from repro.isa.dtypes import float32, int32
+from repro.pim.device import PIMDevice, default_device, init, reset
+from repro.pim.functional import (
+    arange,
+    from_numpy,
+    full,
+    ones,
+    to_numpy,
+    where,
+    zeros,
+)
+from repro.pim.linalg import Matrix, dot, matmul, matvec
+from repro.pim.malloc import PIMMemoryError
+from repro.pim.profiler import Profiler
+from repro.pim.routines import cordic_cos, cordic_sin, reduce, sort
+from repro.pim.tensor import Tensor, TensorView
+
+__all__ = [
+    "float32",
+    "int32",
+    "PIMDevice",
+    "default_device",
+    "init",
+    "reset",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "from_numpy",
+    "to_numpy",
+    "where",
+    "PIMMemoryError",
+    "Profiler",
+    "Tensor",
+    "TensorView",
+    "reduce",
+    "sort",
+    "cordic_sin",
+    "cordic_cos",
+    "Matrix",
+    "dot",
+    "matvec",
+    "matmul",
+]

@@ -1,0 +1,164 @@
+"""The PIM device: simulator + driver + allocator behind the tensor API.
+
+A :class:`PIMDevice` bundles everything one "chip" needs. The module keeps
+a lazily-created default device (configurable via :func:`init`) so that the
+NumPy-style module functions (``pim.zeros`` etc.) work out of the box, as
+in the paper's examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.masks import RangeMask
+from repro.isa.dtypes import DType, array_to_raw, raw_to_array
+from repro.isa.instructions import Instruction
+from repro.pim.malloc import Allocator, Slot
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimStats
+
+
+class PIMDevice:
+    """One simulated PIM chip with its host driver and memory manager."""
+
+    def __init__(self, config: Optional[PIMConfig] = None, **driver_kwargs):
+        from repro.driver.driver import Driver  # local import: no cycles
+
+        self.config = config or PIMConfig()
+        self.simulator = Simulator(self.config)
+        self.driver = Driver(self.simulator, **driver_kwargs)
+        self.allocator = Allocator(self.config)
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.config.rows
+
+    def execute(self, instr: Instruction):
+        """Run one macro-instruction through the driver."""
+        return self.driver.execute(instr)
+
+    def stats_snapshot(self) -> SimStats:
+        """Copy of the simulator's counters (for profiling diffs)."""
+        return self.simulator.stats.copy()
+
+    # ------------------------------------------------------------------
+    # Element addressing
+    # ------------------------------------------------------------------
+    def locate(self, slot: Slot, element: int) -> Tuple[int, int]:
+        """(warp, thread) of a slot's element (row-major across warps)."""
+        warp, thread = divmod(element, self.rows)
+        return slot.warp_start + warp, thread
+
+    # ------------------------------------------------------------------
+    # Bulk data transfer (the test harness's DMA-style load path)
+    # ------------------------------------------------------------------
+    def load_array(self, slot: Slot, values: np.ndarray, dtype: DType) -> None:
+        """Load host data directly into the simulated memory image.
+
+        This is the paper's correctness-flow step (1), "loading the memory
+        with sample data": it bypasses the instruction stream (and the
+        profiling counters), exactly like a DMA/initialization interface.
+        Element-by-element ISA writes remain available via the tensor API.
+        """
+        raw = array_to_raw(np.asarray(values).reshape(-1), dtype)
+        rows = self.rows
+        mem = self.simulator.memory.words
+        for offset in range(0, raw.size, rows):
+            warp = slot.warp_start + offset // rows
+            chunk = raw[offset : offset + rows]
+            mem[warp, slot.reg, : chunk.size] = chunk.astype(mem.dtype)
+
+    def dump_array(self, slot: Slot, length: int, dtype: DType) -> np.ndarray:
+        """Read a slot's contents back to the host (correctness step (3))."""
+        rows = self.rows
+        mem = self.simulator.memory.words
+        out = np.empty(length, dtype=np.uint32)
+        for offset in range(0, length, rows):
+            warp = slot.warp_start + offset // rows
+            take = min(rows, length - offset)
+            out[offset : offset + take] = mem[warp, slot.reg, :take].astype(np.uint32)
+        return raw_to_array(out, dtype)
+
+    # ------------------------------------------------------------------
+    # Mask segmentation over element ranges
+    # ------------------------------------------------------------------
+    def segments(
+        self, slot: Slot, elements: RangeMask
+    ) -> List[Tuple[RangeMask, RangeMask]]:
+        """Split an element-index mask into (warp_mask, row_mask) groups.
+
+        Elements map to (warp, row) row-major; the masked rows of each warp
+        form an arithmetic pattern, and consecutive warps with identical
+        row patterns merge into one warp-range group — a single pair of
+        mask micro-ops then covers the whole group.
+        """
+        rows = self.rows
+        per_warp: List[Tuple[int, RangeMask]] = []
+        first_warp = elements.start // rows
+        last_warp = elements.stop // rows
+        for warp in range(first_warp, last_warp + 1):
+            lo, hi = warp * rows, (warp + 1) * rows - 1
+            # First masked element >= lo.
+            if elements.start >= lo:
+                begin = elements.start
+            else:
+                skip = -(-(lo - elements.start) // elements.step)
+                begin = elements.start + skip * elements.step
+            end = min(hi, elements.stop)
+            if begin > end:
+                continue
+            count = (end - begin) // elements.step
+            end = begin + count * elements.step
+            row_mask = RangeMask(begin - lo, end - lo, elements.step)
+            per_warp.append((slot.warp_start + warp, row_mask))
+
+        groups: List[Tuple[RangeMask, RangeMask]] = []
+        index = 0
+        while index < len(per_warp):
+            warp, row_mask = per_warp[index]
+            stop = index + 1
+            while (
+                stop < len(per_warp)
+                and per_warp[stop][1] == row_mask
+                and per_warp[stop][0] == per_warp[stop - 1][0] + 1
+            ):
+                stop += 1
+            groups.append(
+                (RangeMask(warp, per_warp[stop - 1][0], 1), row_mask)
+            )
+            index = stop
+        return groups
+
+
+_default_device: Optional[PIMDevice] = None
+
+
+def init(config: Optional[PIMConfig] = None, **kwargs) -> PIMDevice:
+    """Create (or replace) the default device, e.g. ``pim.init(PIMConfig())``.
+
+    Keyword arguments construct a :class:`PIMConfig` directly:
+    ``pim.init(crossbars=4, rows=64)``.
+    """
+    global _default_device
+    if config is None and kwargs:
+        config = PIMConfig(**kwargs)
+    _default_device = PIMDevice(config)
+    return _default_device
+
+
+def default_device() -> PIMDevice:
+    """The default device, created on first use with default parameters."""
+    global _default_device
+    if _default_device is None:
+        _default_device = PIMDevice(PIMConfig(crossbars=16, rows=256))
+    return _default_device
+
+
+def reset() -> None:
+    """Drop the default device (tests use this for isolation)."""
+    global _default_device
+    _default_device = None

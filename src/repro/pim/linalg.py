@@ -1,0 +1,146 @@
+"""Intra-crossbar linear algebra on PIM tensors (MatPIM-style).
+
+The paper positions matrix operations as the canonical intra-crossbar
+application class (Section II-B, citing MatPIM): a matrix is laid out so
+that whole columns are element-parallel vectors, and matrix-vector
+products become a sequence of broadcast-multiply-accumulate vector
+instructions — full row-parallelism, no data leaves the memory.
+
+:class:`Matrix` stores an (m, n) matrix column-major: each column is one
+PIM tensor of length m, all allocated over the same warp range so every
+update is a single aligned vector instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.isa.dtypes import DType, float32, int32
+from repro.pim.device import PIMDevice, default_device
+from repro.pim.tensor import Tensor, TensorLike, _elementwise, _is_tensor
+
+
+class Matrix:
+    """A dense (rows, cols) matrix stored as column tensors."""
+
+    def __init__(self, device: PIMDevice, rows: int, cols: int, dtype: DType):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        self.device = device
+        self.rows = rows
+        self.cols = cols
+        self.dtype = dtype
+        self.columns: List[Tensor] = []
+        first = Tensor(device, rows, dtype)
+        self.columns.append(first)
+        for _ in range(cols - 1):
+            self.columns.append(Tensor(device, rows, dtype, reference=first.slot))
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return (self.rows, self.cols)
+
+    @classmethod
+    def from_numpy(cls, values: np.ndarray, device: Optional[PIMDevice] = None) -> "Matrix":
+        """Load a 2-D host array (float32 or int32) into PIM columns."""
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValueError("Matrix.from_numpy needs a 2-D array")
+        if values.dtype == np.int32:
+            dtype = int32
+        elif values.dtype == np.float32:
+            dtype = float32
+        else:
+            raise TypeError(f"unsupported matrix dtype {values.dtype}")
+        device = device or default_device()
+        matrix = cls(device, values.shape[0], values.shape[1], dtype)
+        for col in range(matrix.cols):
+            device.load_array(
+                matrix.columns[col].slot, np.ascontiguousarray(values[:, col]), dtype
+            )
+        return matrix
+
+    def to_numpy(self) -> np.ndarray:
+        out = np.empty((self.rows, self.cols), dtype=self.dtype.np_dtype)
+        for col in range(self.cols):
+            out[:, col] = self.columns[col].to_numpy()
+        return out
+
+    def column(self, index: int) -> Tensor:
+        """The ``index``-th column as a PIM tensor (shared storage)."""
+        return self.columns[index]
+
+    # ------------------------------------------------------------------
+    def matvec(self, x) -> Tensor:
+        """``y = A @ x`` — broadcast-multiply-accumulate per column.
+
+        ``x`` may be a host sequence/array or a PIM tensor (whose elements
+        are then read back thread-serially, as scalar reads are in the
+        ISA). All m rows compute in parallel for each of the n columns.
+        """
+        scalars = self._vector_scalars(x, self.cols)
+        acc = self.columns[0] * scalars[0]
+        for col in range(1, self.cols):
+            acc = acc + self.columns[col] * scalars[col]
+        return acc
+
+    def matmul(self, other: "Matrix") -> "Matrix":
+        """``C = A @ B`` as one matvec per column of B."""
+        if self.cols != other.rows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        result = Matrix(self.device, self.rows, other.cols, self.dtype)
+        for col in range(other.cols):
+            column = self.matvec(other.columns[col])
+            # Move the computed column into the result's storage.
+            from repro.pim.tensor import _bulk_move
+
+            _bulk_move(
+                self.device,
+                column.slot,
+                range(self.rows),
+                result.columns[col].slot,
+                range(self.rows),
+            )
+        return result
+
+    def __matmul__(self, other):
+        if isinstance(other, Matrix):
+            return self.matmul(other)
+        return self.matvec(other)
+
+    def transpose_numpy(self) -> "Matrix":
+        """Transpose via host readback (no in-memory transpose network)."""
+        return Matrix.from_numpy(
+            np.ascontiguousarray(self.to_numpy().T), device=self.device
+        )
+
+    # ------------------------------------------------------------------
+    def _vector_scalars(self, x, expected: int) -> List:
+        if _is_tensor(x):
+            if x.length != expected:
+                raise ValueError(f"vector length {x.length} != {expected}")
+            return [x[i] for i in range(expected)]
+        values = list(np.asarray(x).reshape(-1))
+        if len(values) != expected:
+            raise ValueError(f"vector length {len(values)} != {expected}")
+        return values
+
+
+def dot(a: TensorLike, b: TensorLike):
+    """Inner product: element-parallel multiply + log-time reduction."""
+    return (a * b).sum()
+
+
+def matvec(matrix: Matrix, x) -> Tensor:
+    """Function-style alias for :meth:`Matrix.matvec`."""
+    return matrix.matvec(x)
+
+
+def matmul(a: Matrix, b: Matrix) -> Matrix:
+    """Function-style alias for :meth:`Matrix.matmul`."""
+    return a.matmul(b)

@@ -1,0 +1,136 @@
+"""PIM-optimized dynamic memory management (Section V-A).
+
+The allocatable unit is a *slot*: one register index across a contiguous
+range of warps (every thread of those warps holds one element at that
+register). A tensor of ``n`` elements needs ``ceil(n / rows)`` consecutive
+warps at a single register index.
+
+Alignment is the whole game: two tensors can feed one element-parallel
+instruction only if they live in the *same warps* (at any registers), so
+``allocate`` accepts a *reference* slot and tries hard to place the new
+tensor over the same warp range, falling back to first-fit (the library
+then inserts copy/move fallbacks, as the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.arch.config import PIMConfig
+
+
+class PIMMemoryError(Exception):
+    """Raised when no slot satisfies an allocation request."""
+
+
+@dataclass(frozen=True)
+class Slot:
+    """An allocated placement: register ``reg`` across warps
+    ``[warp_start, warp_start + warp_count)``."""
+
+    reg: int
+    warp_start: int
+    warp_count: int
+
+    @property
+    def warp_stop(self) -> int:
+        return self.warp_start + self.warp_count
+
+
+class Allocator:
+    """First-fit register/warp allocator with reference-alignment.
+
+    Tracks, per user register, which warps are occupied. The scratch
+    registers reserved for the driver are never handed out.
+    """
+
+    def __init__(self, config: PIMConfig):
+        self.config = config
+        # reg -> set of occupied warp indices
+        self._occupied: Dict[int, Set[int]] = {
+            reg: set() for reg in range(config.user_registers)
+        }
+        self._live: Set[Slot] = set()
+
+    # ------------------------------------------------------------------
+    def warps_needed(self, length: int) -> int:
+        """Warps required to hold ``length`` elements."""
+        if length <= 0:
+            raise ValueError("tensor length must be positive")
+        return -(-length // self.config.rows)
+
+    def _fits(self, reg: int, start: int, count: int) -> bool:
+        if start < 0 or start + count > self.config.crossbars:
+            return False
+        occupied = self._occupied[reg]
+        return all(w not in occupied for w in range(start, start + count))
+
+    def allocate(self, length: int, reference: Optional[Slot] = None) -> Slot:
+        """Place ``length`` elements, preferring the reference's warp range.
+
+        The search order is: (1) exactly the reference's warp range on any
+        free register; (2) first fit over (register, warp offset). Raises
+        :class:`PIMMemoryError` when the memory is exhausted.
+        """
+        count = self.warps_needed(length)
+        if reference is not None:
+            for reg in range(self.config.user_registers):
+                if self._fits(reg, reference.warp_start, count):
+                    return self._claim(reg, reference.warp_start, count)
+        # Warp-range outer / register inner: consecutive allocations land
+        # in the same warp range, which is what keeps element-wise operands
+        # aligned without copies (Section V-A's malloc goal).
+        for start in range(self.config.crossbars - count + 1):
+            for reg in range(self.config.user_registers):
+                if self._fits(reg, start, count):
+                    return self._claim(reg, start, count)
+        raise PIMMemoryError(
+            f"cannot place {length} elements ({count} warps): memory exhausted"
+        )
+
+    def allocate_group(self, length: int, k: int) -> List[Slot]:
+        """Place ``k`` same-length slots in one shared warp range.
+
+        This is the alignment guarantee behind operand staging: when the
+        reference heuristic cannot align operands, the library moves them
+        into a group allocated here (and raises when no warp range has
+        ``k`` free registers).
+        """
+        count = self.warps_needed(length)
+        for start in range(self.config.crossbars - count + 1):
+            regs = [
+                reg
+                for reg in range(self.config.user_registers)
+                if self._fits(reg, start, count)
+            ]
+            if len(regs) >= k:
+                return [self._claim(reg, start, count) for reg in regs[:k]]
+        raise PIMMemoryError(
+            f"no warp range has {k} free registers for {length} elements"
+        )
+
+    def _claim(self, reg: int, start: int, count: int) -> Slot:
+        slot = Slot(reg, start, count)
+        self._occupied[reg].update(range(start, start + count))
+        self._live.add(slot)
+        return slot
+
+    def free(self, slot: Slot) -> None:
+        """Release a slot (idempotent, so destructors may race teardown)."""
+        if slot not in self._live:
+            return
+        self._live.discard(slot)
+        for warp in range(slot.warp_start, slot.warp_stop):
+            self._occupied[slot.reg].discard(warp)
+
+    @property
+    def live_slots(self) -> int:
+        """Number of currently allocated slots (for tests/leak checks)."""
+        return len(self._live)
+
+    def occupancy(self) -> float:
+        """Fraction of (register, warp) cells currently occupied."""
+        total = self.config.user_registers * self.config.crossbars
+        used = sum(len(warps) for warps in self._occupied.values())
+        return used / total

@@ -1,0 +1,56 @@
+"""The ``with pim.Profiler():`` context manager (paper Figure 12 / VI-B).
+
+Captures the simulator's micro-operation counters around a code block and
+exposes (optionally prints) the delta, plus the Eq. (1) throughput for a
+given element parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pim.device import PIMDevice, default_device
+from repro.sim.stats import SimStats, throughput
+
+
+class Profiler:
+    """Profile the PIM cycles of a code block.
+
+    Example::
+
+        with pim.Profiler() as prof:
+            z = x * y + x
+        print(prof.cycles, prof.stats.op_counts)
+    """
+
+    def __init__(self, device: Optional[PIMDevice] = None, echo: bool = False):
+        self._device = device
+        self.echo = echo
+        self.stats: Optional[SimStats] = None
+        self._before: Optional[SimStats] = None
+
+    @property
+    def device(self) -> PIMDevice:
+        return self._device or default_device()
+
+    def __enter__(self) -> "Profiler":
+        self._before = self.device.stats_snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stats = self.device.simulator.stats.diff(self._before)
+        if self.echo and exc_type is None:
+            print(self.stats.summary())
+
+    @property
+    def cycles(self) -> int:
+        """PIM cycles (micro-operations) spent inside the block."""
+        if self.stats is None:
+            raise RuntimeError("profiler block has not completed")
+        return self.stats.cycles
+
+    def throughput(self, operations: int) -> float:
+        """Eq. (1) throughput for ``operations`` completed in the block."""
+        return throughput(
+            operations, self.cycles, self.device.config.frequency_hz
+        )

@@ -1,0 +1,92 @@
+"""Condensed strided memory image of the simulated PIM chip.
+
+The logical state of crossbar ``x`` is an ``h x w`` bit matrix. Following
+the paper's simulator optimization, rows are stored in a condensed word
+format defined by the strided data layout (Figure 6): entry ``[x, t, r]``
+is an N-bit word whose bit ``i`` is the memristor at row ``t``, partition
+``i``, intra-partition column ``r``. Logic operations on partitions become
+bitwise word operations, the same trick the paper uses on the GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+
+
+class CrossbarMemory:
+    """The packed bit-state of every crossbar in the memory.
+
+    Exposes raw word get/set used by the simulator, plus whole-array
+    import/export helpers used by tests to compare against an unpacked
+    bit-level reference model.
+    """
+
+    def __init__(self, config: PIMConfig):
+        self.config = config
+        dtype = np.uint32 if config.word_size <= 32 else np.uint64
+        self._dtype = dtype
+        # Axis order (crossbars, registers, rows): the rows of one register
+        # are contiguous, so element-parallel logic operations act on
+        # contiguous vectors (the simulator's memory-locality optimization,
+        # mirroring the paper's GPU batching).
+        self.words = np.zeros(
+            (config.crossbars, config.registers, config.rows), dtype=dtype
+        )
+        mask = (1 << config.word_size) - 1
+        self.word_mask = dtype(mask)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The NumPy dtype used for packed words."""
+        return np.dtype(self._dtype)
+
+    def get_word(self, crossbar: int, row: int, index: int) -> int:
+        """Read the N-bit strided word at (crossbar, row, intra-row index)."""
+        return int(self.words[crossbar, index, row])
+
+    def set_word(self, crossbar: int, row: int, index: int, value: int) -> None:
+        """Write the N-bit strided word at (crossbar, row, intra-row index)."""
+        if not 0 <= value < (1 << self.config.word_size):
+            raise ValueError("value does not fit the word size")
+        self.words[crossbar, index, row] = value
+
+    def get_bit(self, crossbar: int, row: int, partition: int, index: int) -> int:
+        """Read one memristor's logical state (by partition/intra-partition)."""
+        return (self.get_word(crossbar, row, index) >> partition) & 1
+
+    def set_bit(
+        self, crossbar: int, row: int, partition: int, index: int, value: int
+    ) -> None:
+        """Write one memristor's logical state."""
+        word = self.get_word(crossbar, row, index)
+        if value:
+            word |= 1 << partition
+        else:
+            word &= ~(1 << partition)
+        self.set_word(crossbar, row, index, word)
+
+    def unpack_bits(self, crossbar: int) -> np.ndarray:
+        """Expand one crossbar to its full ``h x w`` boolean bit matrix.
+
+        Column ``c = i * (w / N_p) + r`` corresponds to partition ``i``,
+        intra-partition index ``r`` (the strided layout of Figure 6).
+        """
+        cfg = self.config
+        bits = np.zeros((cfg.rows, cfg.columns), dtype=bool)
+        for partition in range(cfg.partitions):
+            cols = slice(
+                partition * cfg.partition_width,
+                (partition + 1) * cfg.partition_width,
+            )
+            bits[:, cols] = (
+                (self.words[crossbar].T >> np.uint32(partition)) & 1
+            ).astype(bool)
+        return bits
+
+    def fill(self, value: int) -> None:
+        """Set every word of the memory to ``value`` (testing helper)."""
+        if not 0 <= value < (1 << self.config.word_size):
+            raise ValueError("value does not fit the word size")
+        self.words[...] = value

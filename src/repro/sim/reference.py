@@ -1,0 +1,133 @@
+"""A naive, unpacked reference executor for differential testing.
+
+The production simulator packs partition bits into words and executes
+gates with bitwise word arithmetic (the paper's GPU trick). This module
+executes the *same* micro-operations on an explicit boolean bit matrix,
+one memristor at a time, straight from the operation semantics — slow,
+obviously-correct, and entirely independent of the packed implementation.
+
+``tests/sim/test_differential.py`` runs random micro-operation streams
+through both executors and requires identical final memory images.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.halfgates import expand_pattern
+from repro.arch.masks import RangeMask
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    LogicVOp,
+    MicroOp,
+    MoveOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+)
+
+
+class ReferenceSimulator:
+    """Bit-at-a-time executor over an explicit (xbars, rows, w) bool array."""
+
+    def __init__(self, config: PIMConfig):
+        self.config = config
+        self.bits = np.zeros(
+            (config.crossbars, config.rows, config.columns), dtype=bool
+        )
+        self._active_xbars = list(range(config.crossbars))
+        self._active_rows = list(range(config.rows))
+
+    # ------------------------------------------------------------------
+    def _column(self, partition: int, index: int) -> int:
+        """Physical bitline of (partition, intra-partition index)."""
+        return partition * self.config.partition_width + index
+
+    def execute(self, op: MicroOp) -> Optional[int]:
+        if isinstance(op, CrossbarMaskOp):
+            self._active_xbars = list(range(op.start, op.stop + 1, op.step))
+            return None
+        if isinstance(op, RowMaskOp):
+            self._active_rows = list(range(op.start, op.stop + 1, op.step))
+            return None
+        if isinstance(op, ReadOp):
+            assert len(self._active_xbars) == 1 and len(self._active_rows) == 1
+            xbar, row = self._active_xbars[0], self._active_rows[0]
+            word = 0
+            for partition in range(self.config.partitions):
+                if self.bits[xbar, row, self._column(partition, op.index)]:
+                    word |= 1 << partition
+            return word
+        if isinstance(op, WriteOp):
+            for xbar in self._active_xbars:
+                for row in self._active_rows:
+                    for partition in range(self.config.partitions):
+                        self.bits[xbar, row, self._column(partition, op.index)] = bool(
+                            (op.value >> partition) & 1
+                        )
+            return None
+        if isinstance(op, LogicHOp):
+            self._logic_h(op)
+            return None
+        if isinstance(op, LogicVOp):
+            self._logic_v(op)
+            return None
+        if isinstance(op, MoveOp):
+            self._move(op)
+            return None
+        raise TypeError(f"unknown micro-operation {op!r}")
+
+    def execute_all(self, ops: Iterable[MicroOp]) -> None:
+        for op in ops:
+            self.execute(op)
+
+    # ------------------------------------------------------------------
+    def _logic_h(self, op: LogicHOp) -> None:
+        gates = expand_pattern(op, self.config.partitions)
+        for xbar in self._active_xbars:
+            for row in self._active_rows:
+                for inputs, out_p in gates:
+                    out_col = self._column(out_p, op.out)
+                    if op.gate == GateType.INIT1:
+                        self.bits[xbar, row, out_col] = True
+                    elif op.gate == GateType.INIT0:
+                        self.bits[xbar, row, out_col] = False
+                    elif op.gate == GateType.NOT:
+                        in_col = self._column(inputs[0], op.in_a)
+                        result = not self.bits[xbar, row, in_col]
+                        # Stateful: the output can only be pulled 1 -> 0.
+                        self.bits[xbar, row, out_col] &= result
+                    else:  # NOR
+                        a_col = self._column(inputs[0], op.in_a)
+                        b_col = self._column(inputs[1], op.in_b)
+                        result = not (
+                            self.bits[xbar, row, a_col]
+                            or self.bits[xbar, row, b_col]
+                        )
+                        self.bits[xbar, row, out_col] &= result
+
+    def _logic_v(self, op: LogicVOp) -> None:
+        for xbar in self._active_xbars:
+            for partition in range(self.config.partitions):
+                col = self._column(partition, op.index)
+                if op.gate == GateType.INIT1:
+                    self.bits[xbar, op.out_row, col] = True
+                elif op.gate == GateType.INIT0:
+                    self.bits[xbar, op.out_row, col] = False
+                else:  # NOT (stateful)
+                    result = not self.bits[xbar, op.in_row, col]
+                    self.bits[xbar, op.out_row, col] &= result
+
+    def _move(self, op: MoveOp) -> None:
+        for xbar in self._active_xbars:
+            for partition in range(self.config.partitions):
+                src_col = self._column(partition, op.src_index)
+                dst_col = self._column(partition, op.dst_index)
+                self.bits[xbar + op.dist, op.dst_row, dst_col] = self.bits[
+                    xbar, op.src_row, src_col
+                ]

@@ -1,0 +1,251 @@
+"""Cycle-by-cycle execution of micro-operations on the packed memory image.
+
+The simulator interacts with the rest of the stack only through
+:meth:`Simulator.execute` (plus read responses), satisfying the paper's
+cycle-accurate-simulation standard: operations are modeled one at a time
+with the same semantics a memristive chip would apply, including the
+stateful-logic constraint that an output memristor can only be pulled from
+logical 1 to logical 0 (so outputs must be ``INIT1``-ed first, and those
+cycles are counted).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.halfgates import expand_pattern
+from repro.arch.htree import move_cycles, validate_move_pattern
+from repro.arch.masks import RangeMask
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    LogicVOp,
+    MicroOp,
+    MoveOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+)
+from repro.sim.memory import CrossbarMemory
+from repro.sim.stats import SimStats
+
+
+class SimulationError(Exception):
+    """Raised when a micro-operation is invalid for the current state."""
+
+
+_GATE_KEYS_H = {gate: f"logic_h_{gate.name.lower()}" for gate in GateType}
+_GATE_KEYS_V = {gate: f"logic_v_{gate.name.lower()}" for gate in GateType}
+
+
+@lru_cache(maxsize=65536)
+def _pattern_mask(
+    gate: GateType,
+    p_a: int,
+    p_b: int,
+    p_out: int,
+    p_end: int,
+    p_step: int,
+    partitions: int,
+) -> "tuple[int, int]":
+    """(output-partition bitmask, gate count) of a validated pattern.
+
+    Pattern validation (section disjointness, partition ranges) happens in
+    :func:`expand_pattern`; patterns repeat constantly across a program, so
+    the result is cached on the pattern fields.
+    """
+    op = LogicHOp(gate, 0, 0, 0, p_a=p_a, p_b=p_b, p_out=p_out,
+                  p_end=p_end, p_step=p_step)
+    gates = expand_pattern(op, partitions)
+    mask = 0
+    for _, out_p in gates:
+        mask |= 1 << out_p
+    return mask, len(gates)
+
+
+class Simulator:
+    """A bit-accurate digital PIM chip model.
+
+    Args:
+        config: the architecture parameters.
+        move_cost: ``"unit"`` counts every move operation as one cycle (the
+            paper's micro-op-count metric); ``"htree"`` charges one cycle
+            per traversed H-tree segment of the longest pair (used by the
+            H-tree ablation benchmark).
+    """
+
+    def __init__(self, config: PIMConfig, move_cost: str = "unit"):
+        if move_cost not in ("unit", "htree"):
+            raise ValueError("move_cost must be 'unit' or 'htree'")
+        self.config = config
+        self.memory = CrossbarMemory(config)
+        self.stats = SimStats()
+        self.move_cost = move_cost
+        self._xb_mask = RangeMask.all(config.crossbars)
+        self._row_mask = RangeMask.all(config.rows)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def execute(self, op: MicroOp) -> Optional[int]:
+        """Execute one micro-operation; returns the word for reads."""
+        if isinstance(op, CrossbarMaskOp):
+            return self._exec_xb_mask(op)
+        if isinstance(op, RowMaskOp):
+            return self._exec_row_mask(op)
+        if isinstance(op, ReadOp):
+            return self._exec_read(op)
+        if isinstance(op, WriteOp):
+            return self._exec_write(op)
+        if isinstance(op, LogicHOp):
+            return self._exec_logic_h(op)
+        if isinstance(op, LogicVOp):
+            return self._exec_logic_v(op)
+        if isinstance(op, MoveOp):
+            return self._exec_move(op)
+        raise SimulationError(f"unknown micro-operation {op!r}")
+
+    def execute_all(self, ops: Iterable[MicroOp]) -> None:
+        """Execute a batch of micro-operations (no read responses)."""
+        for op in ops:
+            self.execute(op)
+
+    @property
+    def crossbar_mask(self) -> RangeMask:
+        """The currently selected crossbars."""
+        return self._xb_mask
+
+    @property
+    def row_mask(self) -> RangeMask:
+        """The currently selected rows."""
+        return self._row_mask
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.config.registers:
+            raise SimulationError(f"intra-row index {index} out of range")
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.config.rows:
+            raise SimulationError(f"row {row} out of range")
+
+    def _reg_region(self, reg: int) -> np.ndarray:
+        """Masked (crossbars, rows) view of one register's words."""
+        xm, rm = self._xb_mask, self._row_mask
+        return self.memory.words[
+            xm.start : xm.stop + 1 : xm.step,
+            reg,
+            rm.start : rm.stop + 1 : rm.step,
+        ]
+
+    def _shift(self, words: np.ndarray, amount: int) -> np.ndarray:
+        """Shift packed words by a (possibly negative) partition offset."""
+        dtype = self.memory.dtype
+        if amount >= 0:
+            return (words << dtype.type(amount)) & self.memory.word_mask
+        return words >> dtype.type(-amount)
+
+    # ------------------------------------------------------------------
+    # Operation implementations
+    # ------------------------------------------------------------------
+    def _exec_xb_mask(self, op: CrossbarMaskOp) -> None:
+        if op.stop >= self.config.crossbars:
+            raise SimulationError("crossbar mask out of range")
+        self._xb_mask = RangeMask(op.start, op.stop, op.step)
+        self.stats.record("mask_crossbar")
+
+    def _exec_row_mask(self, op: RowMaskOp) -> None:
+        if op.stop >= self.config.rows:
+            raise SimulationError("row mask out of range")
+        self._row_mask = RangeMask(op.start, op.stop, op.step)
+        self.stats.record("mask_row")
+
+    def _exec_read(self, op: ReadOp) -> int:
+        self._check_index(op.index)
+        if len(self._xb_mask) != 1 or len(self._row_mask) != 1:
+            raise SimulationError(
+                "read requires masks selecting a single row of a single crossbar"
+            )
+        self.stats.record("read")
+        return self.memory.get_word(
+            self._xb_mask.start, self._row_mask.start, op.index
+        )
+
+    def _exec_write(self, op: WriteOp) -> None:
+        self._check_index(op.index)
+        if op.value >= (1 << self.config.word_size):
+            raise SimulationError("write value exceeds word size")
+        self._reg_region(op.index)[...] = self.memory.dtype.type(op.value)
+        self.stats.record("write")
+
+    def _exec_logic_h(self, op: LogicHOp) -> None:
+        cfg = self.config
+        for index in (op.in_a, op.in_b, op.out):
+            self._check_index(index)
+        out_mask_int, gate_count = _pattern_mask(
+            op.gate, op.p_a, op.p_b, op.p_out, op.p_end, op.p_step,
+            cfg.partitions,
+        )
+        dtype = self.memory.dtype
+        out_mask = dtype.type(out_mask_int)
+
+        out_region = self._reg_region(op.out)
+        if op.gate == GateType.INIT1:
+            out_region |= out_mask
+        elif op.gate == GateType.INIT0:
+            out_region &= ~out_mask
+        elif op.gate == GateType.NOT:
+            pull = self._shift(self._reg_region(op.in_a), op.p_out - op.p_a)
+            out_region &= ~(pull & out_mask)
+        else:  # NOR
+            a = self._shift(self._reg_region(op.in_a), op.p_out - op.p_a)
+            b = self._shift(self._reg_region(op.in_b), op.p_out - op.p_b)
+            out_region &= ~((a | b) & out_mask)
+
+        active = len(self._xb_mask) * len(self._row_mask)
+        self.stats.record(_GATE_KEYS_H[op.gate], gates=gate_count * active)
+
+    def _exec_logic_v(self, op: LogicVOp) -> None:
+        self._check_index(op.index)
+        self._check_row(op.out_row)
+        xm = self._xb_mask
+        column = self.memory.words[
+            xm.start : xm.stop + 1 : xm.step, op.index, :
+        ]
+        if op.gate == GateType.INIT1:
+            column[:, op.out_row] = self.memory.word_mask
+        elif op.gate == GateType.INIT0:
+            column[:, op.out_row] = 0
+        else:  # NOT
+            self._check_row(op.in_row)
+            column[:, op.out_row] &= ~column[:, op.in_row]
+        active = len(xm)
+        self.stats.record(_GATE_KEYS_V[op.gate], gates=self.config.partitions * active)
+
+    def _exec_move(self, op: MoveOp) -> None:
+        cfg = self.config
+        self._check_index(op.src_index)
+        self._check_index(op.dst_index)
+        self._check_row(op.src_row)
+        self._check_row(op.dst_row)
+        try:
+            validate_move_pattern(self._xb_mask, op.dist, cfg.crossbars)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from exc
+        sources = np.fromiter(self._xb_mask.indices(), dtype=np.int64)
+        self.memory.words[sources + op.dist, op.dst_index, op.dst_row] = (
+            self.memory.words[sources, op.src_index, op.src_row]
+        )
+        if self.move_cost == "htree":
+            cycles = max(1, move_cycles(self._xb_mask, op.dist, cfg.crossbars))
+            self.stats.htree_hop_cycles += cycles - 1
+        else:
+            cycles = 1
+        self.stats.record("move", cycles=cycles)

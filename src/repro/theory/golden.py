@@ -1,0 +1,87 @@
+"""Golden (CPU / NumPy) semantics for every ISA operation.
+
+The paper's correctness methodology compares simulator output against "a
+trusted CPU-only program" (NumPy). This module centralizes those reference
+semantics — including the documented deviations (trunc integer division,
+C-style modulo) — so tests and benchmarks share one definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import ROp
+
+
+def _trunc_div_int32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style (truncate toward zero) int32 division; INT_MIN/-1 wraps."""
+    a64 = a.astype(np.int64)
+    b64 = b.astype(np.int64)
+    q = np.where(b64 != 0, np.fix(a64 / np.where(b64 == 0, 1, b64)), 0)
+    return (q.astype(np.int64) & 0xFFFFFFFF).astype(np.uint32).view(np.int32)
+
+
+def _trunc_mod_int32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style remainder (sign of the dividend)."""
+    q = _trunc_div_int32(a, b).astype(np.int64)
+    r = a.astype(np.int64) - q * b.astype(np.int64)
+    return (r & 0xFFFFFFFF).astype(np.uint32).view(np.int32)
+
+
+def golden_rtype(op: ROp, dtype: DType, a: np.ndarray, b=None, c=None) -> np.ndarray:
+    """Reference result of an R-type operation on host arrays.
+
+    Arrays must already have the matching NumPy dtype. Comparison and
+    zero-test results are int32 0/1 words; bitwise operations act on raw
+    bit patterns for both dtypes.
+    """
+    np_dtype = dtype.np_dtype
+    with np.errstate(all="ignore"):
+        if op in (ROp.BIT_NOT, ROp.BIT_AND, ROp.BIT_OR, ROp.BIT_XOR):
+            raw_a = np.asarray(a).view(np.uint32)
+            raw_b = None if b is None else np.asarray(b).view(np.uint32)
+            result = {
+                ROp.BIT_NOT: lambda: ~raw_a,
+                ROp.BIT_AND: lambda: raw_a & raw_b,
+                ROp.BIT_OR: lambda: raw_a | raw_b,
+                ROp.BIT_XOR: lambda: raw_a ^ raw_b,
+            }[op]()
+            return result.view(np_dtype)
+        if op == ROp.ADD:
+            return (a + b).astype(np_dtype)
+        if op == ROp.SUB:
+            return (a - b).astype(np_dtype)
+        if op == ROp.MUL:
+            return (a * b).astype(np_dtype)
+        if op == ROp.DIV:
+            if dtype.is_float:
+                return (a / b).astype(np_dtype)
+            return _trunc_div_int32(a, b)
+        if op == ROp.MOD:
+            return _trunc_mod_int32(a, b)
+        if op == ROp.NEG:
+            return (-a).astype(np_dtype)
+        if op == ROp.ABS:
+            return np.abs(a).astype(np_dtype)
+        if op == ROp.SIGN:
+            return np.sign(a).astype(np_dtype)
+        if op == ROp.ZERO:
+            return (a == 0).astype(np.int32)
+        if op == ROp.LT:
+            return (a < b).astype(np.int32)
+        if op == ROp.LE:
+            return (a <= b).astype(np.int32)
+        if op == ROp.GT:
+            return (a > b).astype(np.int32)
+        if op == ROp.GE:
+            return (a >= b).astype(np.int32)
+        if op == ROp.EQ:
+            return (a == b).astype(np.int32)
+        if op == ROp.NE:
+            return (a != b).astype(np.int32)
+        if op == ROp.MUX:
+            return np.where(np.asarray(a).astype(bool), b, c).astype(np_dtype)
+        if op == ROp.COPY:
+            return np.asarray(a).astype(np_dtype)
+    raise ValueError(f"no golden semantics for {op}")

@@ -1,0 +1,143 @@
+"""Tests for the half-gates technique (Section III-D2, Table I)."""
+
+import pytest
+
+from repro.arch.halfgates import (
+    Opcode,
+    expand_pattern,
+    opcode_table,
+    opcodes_for_pattern,
+    sections_from_selects,
+    transistor_selects,
+)
+from repro.arch.micro_ops import GateType, LogicHOp
+
+N = 32
+
+
+class TestTableI:
+    """The per-partition opcode table must match Table I exactly."""
+
+    def test_eight_opcodes(self):
+        assert len(list(Opcode)) == 8
+
+    def test_table_contents(self):
+        table = opcode_table()
+        assert table[0b000] == "-"
+        assert table[0b001] == "? -> Out"
+        assert table[0b010] == "(?, InB) -> ?"
+        assert table[0b011] == "(?, InB) -> Out"
+        assert table[0b100] == "(InA, ?) -> ?"
+        assert table[0b101] == "(InA, ?) -> Out"
+        assert table[0b110] == "(InA, InB) -> ?"
+        assert table[0b111] == "(InA, InB) -> Out"
+
+    def test_bit_semantics(self):
+        assert Opcode.INA.applies_in_a and not Opcode.INA.applies_out
+        assert Opcode.OUT.applies_out and not Opcode.OUT.applies_in_a
+        assert Opcode.INA_INB_OUT.applies_in_a
+        assert Opcode.INA_INB_OUT.applies_in_b
+        assert Opcode.INA_INB_OUT.applies_out
+
+
+class TestExpandPattern:
+    def test_single_gate(self):
+        op = LogicHOp(GateType.NOR, 0, 1, 2, p_a=1, p_b=3, p_out=2, p_end=2)
+        assert expand_pattern(op, N) == [((1, 3), 2)]
+
+    def test_periodic_gates(self):
+        # Figure 7(c)-style: input partition k, output partition k+1, period 2.
+        op = LogicHOp(
+            GateType.NOT, 0, 0, 1, p_a=0, p_b=0, p_out=1, p_end=31, p_step=2
+        )
+        gates = expand_pattern(op, N)
+        assert len(gates) == 16
+        assert gates[0] == ((0,), 1)
+        assert gates[-1] == ((30,), 31)
+
+    def test_parallel_init(self):
+        op = LogicHOp(GateType.INIT1, 0, 0, 5, p_a=0, p_b=0, p_out=0, p_end=31)
+        gates = expand_pattern(op, N)
+        assert len(gates) == 32
+        assert all(inputs == () for inputs, _ in gates)
+
+    def test_out_of_range_partition(self):
+        op = LogicHOp(GateType.NOT, 0, 0, 1, p_a=30, p_b=30, p_out=33, p_end=33)
+        with pytest.raises(ValueError):
+            expand_pattern(op, N)
+
+    def test_intersecting_sections_rejected(self):
+        # Gates spanning 3 partitions at step 2 intersect.
+        op = LogicHOp(
+            GateType.NOR, 0, 1, 2, p_a=0, p_b=1, p_out=2, p_end=30, p_step=2
+        )
+        with pytest.raises(ValueError):
+            expand_pattern(op, N)
+
+
+class TestOpcodesForPattern:
+    def test_figure_8c_example(self):
+        """Inputs in partition k, output in partition k+1, repeating."""
+        op = LogicHOp(
+            GateType.NOR, 0, 1, 3, p_a=0, p_b=0, p_out=1, p_end=3, p_step=2
+        )
+        codes = opcodes_for_pattern(op, 4)
+        assert codes[0] == Opcode.INA_INB
+        assert codes[1] == Opcode.OUT
+        assert codes[2] == Opcode.INA_INB
+        assert codes[3] == Opcode.OUT
+
+    def test_same_partition_gate(self):
+        op = LogicHOp(GateType.NOR, 0, 1, 2, p_a=5, p_b=5, p_out=5, p_end=5)
+        codes = opcodes_for_pattern(op, N)
+        assert codes[5] == Opcode.INA_INB_OUT
+        assert all(code == Opcode.NONE for i, code in enumerate(codes) if i != 5)
+
+    def test_uninvolved_partitions_are_none(self):
+        op = LogicHOp(GateType.NOR, 0, 1, 2, p_a=1, p_b=2, p_out=4, p_end=4)
+        codes = opcodes_for_pattern(op, 8)
+        assert codes[0] == Opcode.NONE
+        assert codes[3] == Opcode.NONE  # between InB and Out: no voltages
+        assert codes[5] == Opcode.NONE
+
+
+class TestTransistorSelects:
+    def test_selects_isolate_each_gate(self):
+        op = LogicHOp(
+            GateType.NOR, 0, 1, 3, p_a=0, p_b=0, p_out=1, p_end=31, p_step=2
+        )
+        selects = transistor_selects(op, N)
+        sections = sections_from_selects(selects)
+        gates = expand_pattern(op, N)
+        for inputs, out in gates:
+            cells = set(inputs) | {out}
+            containing = [s for s in sections if cells <= set(s)]
+            assert containing, f"gate {cells} not contained in one section"
+
+    def test_gates_in_distinct_sections(self):
+        op = LogicHOp(
+            GateType.NOT, 0, 0, 1, p_a=0, p_b=0, p_out=1, p_end=29, p_step=4
+        )
+        selects = transistor_selects(op, N)
+        sections = sections_from_selects(selects)
+        gates = expand_pattern(op, N)
+
+        def section_of(partition):
+            for idx, sec in enumerate(sections):
+                if partition in sec:
+                    return idx
+            raise AssertionError
+
+        seen = set()
+        for inputs, out in gates:
+            sec = section_of(out)
+            assert all(section_of(p) == sec for p in inputs)
+            assert sec not in seen
+            seen.add(sec)
+
+    def test_serial_gate_keeps_row_connected(self):
+        op = LogicHOp(GateType.NOR, 0, 1, 2, p_a=0, p_b=15, p_out=31, p_end=31)
+        selects = transistor_selects(op, N)
+        sections = sections_from_selects(selects)
+        cells = {0, 15, 31}
+        assert any(cells <= set(s) for s in sections)

@@ -1,0 +1,78 @@
+"""Tests for the H-tree communication framework (Section III-F)."""
+
+import pytest
+
+from repro.arch.htree import (
+    HTree,
+    move_cycles,
+    move_pairs,
+    validate_move_pattern,
+)
+from repro.arch.masks import RangeMask
+
+
+class TestHTree:
+    def test_sixteen_crossbars_has_two_levels(self):
+        assert HTree(16).levels == 2
+
+    def test_group_prefixes(self):
+        """Figure 9: group 10xx contains crossbars 8..11."""
+        tree = HTree(16)
+        assert tree.group(0b1000, 1) == range(8, 12)
+        assert tree.group(0b1011, 1) == range(8, 12)
+        assert tree.group(0b0101, 1) == range(4, 8)
+        assert tree.group(3, 2) == range(0, 16)
+
+    def test_level_for_distance(self):
+        tree = HTree(16)
+        assert tree.level_for_distance(1, 2) == 1  # same group of 4
+        assert tree.level_for_distance(1, 5) == 2  # crosses group boundary
+
+    def test_hop_count_symmetry(self):
+        tree = HTree(64)
+        for src, dst in [(0, 1), (0, 5), (3, 60)]:
+            assert tree.hop_count(src, dst) == tree.hop_count(dst, src)
+
+    def test_hop_count_zero_for_self(self):
+        assert HTree(16).hop_count(5, 5) == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            HTree(12)
+
+
+class TestMovePatterns:
+    def test_paper_example(self):
+        """Crossbars xx01 -> xx10: start=0001, step=0100, end=1101, dist=1."""
+        mask = RangeMask(0b0001, 0b1101, 0b0100)
+        validate_move_pattern(mask, 1, 16)
+        pairs = move_pairs(mask, 1, 16)
+        assert pairs == [(1, 2), (5, 6), (9, 10), (13, 14)]
+
+    def test_step_must_be_power_of_four(self):
+        with pytest.raises(ValueError):
+            validate_move_pattern(RangeMask(0, 14, 2), 1, 16)
+
+    def test_step_one_is_power_of_four(self):
+        # Contiguous halves: sources 8..15 -> destinations 0..7.
+        validate_move_pattern(RangeMask(8, 15, 1), -8, 16)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            validate_move_pattern(RangeMask(0, 12, 4), 4, 16)
+
+    def test_out_of_range_destination(self):
+        with pytest.raises(ValueError):
+            validate_move_pattern(RangeMask(12, 12, 1), 8, 16)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            validate_move_pattern(RangeMask(0, 0, 1), 0, 16)
+
+    def test_single_crossbar_any_step(self):
+        validate_move_pattern(RangeMask.single(3), 2, 16)
+
+    def test_move_cycles_scale_with_level(self):
+        near = move_cycles(RangeMask.single(0), 1, 16)  # within group of 4
+        far = move_cycles(RangeMask.single(0), 15, 16)  # across the root
+        assert far > near

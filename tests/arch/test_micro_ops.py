@@ -1,0 +1,130 @@
+"""Tests for the 64-bit micro-operation encoding (Figure 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    LogicVOp,
+    MoveOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+    decode,
+    encode,
+)
+
+
+def roundtrip(op):
+    word = encode(op)
+    assert 0 <= word < (1 << 64)
+    return decode(word)
+
+
+class TestEncodingRoundtrip:
+    def test_crossbar_mask(self):
+        op = CrossbarMaskOp(3, 63, 4)
+        assert roundtrip(op) == op
+
+    def test_row_mask(self):
+        op = RowMaskOp(1, 1021, 4)
+        assert roundtrip(op) == op
+
+    def test_read(self):
+        assert roundtrip(ReadOp(17)) == ReadOp(17)
+
+    def test_write(self):
+        op = WriteOp(5, 0xDEADBEEF)
+        assert roundtrip(op) == op
+
+    def test_logic_h_single_gate(self):
+        op = LogicHOp(GateType.NOR, 1, 2, 3, p_a=4, p_b=9, p_out=6, p_end=6)
+        assert roundtrip(op) == op
+
+    def test_logic_h_parallel(self):
+        op = LogicHOp(GateType.NOT, 0, 0, 7, p_a=0, p_b=0, p_out=0, p_end=31, p_step=1)
+        assert roundtrip(op) == op
+
+    def test_logic_v(self):
+        op = LogicVOp(GateType.NOT, 12, 900, 3)
+        assert roundtrip(op) == op
+
+    def test_move_positive(self):
+        op = MoveOp(16, 5, 9, 2, 3)
+        assert roundtrip(op) == op
+
+    def test_move_negative_distance(self):
+        op = MoveOp(-4, 0, 0, 1, 1)
+        assert roundtrip(op) == op
+
+    def test_write_value_exceeding_word_size(self):
+        with pytest.raises(ValueError):
+            encode(WriteOp(0, 1 << 33), word_size=32)
+
+    def test_kind_tags_are_distinct(self):
+        ops = [
+            CrossbarMaskOp(0, 0, 1),
+            RowMaskOp(0, 0, 1),
+            ReadOp(0),
+            WriteOp(0, 0),
+            LogicHOp(GateType.NOR, 0, 1, 2, p_a=0, p_b=1, p_out=2, p_end=2),
+            LogicVOp(GateType.NOT, 0, 1, 0),
+            MoveOp(1, 0, 0, 0, 0),
+        ]
+        tags = {encode(op) >> 61 for op in ops}
+        assert len(tags) == len(ops)
+
+
+class TestValidation:
+    def test_logic_h_requires_ordered_inputs(self):
+        with pytest.raises(ValueError):
+            LogicHOp(GateType.NOR, 0, 1, 2, p_a=5, p_b=2, p_out=3, p_end=3)
+
+    def test_logic_h_step_divides(self):
+        with pytest.raises(ValueError):
+            LogicHOp(GateType.NOR, 0, 1, 2, p_a=0, p_b=1, p_out=2, p_end=7, p_step=3)
+
+    def test_logic_h_gate_count(self):
+        op = LogicHOp(GateType.NOT, 0, 0, 1, p_a=0, p_b=0, p_out=1, p_end=31, p_step=2)
+        assert op.gate_count == 16
+
+    def test_vertical_nor_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVOp(GateType.NOR, 0, 1, 0)
+
+
+@given(
+    start=st.integers(0, 1000),
+    stop_extra=st.integers(0, 1000),
+    step=st.integers(1, 100),
+)
+def test_mask_roundtrip_property(start, stop_extra, step):
+    op = CrossbarMaskOp(start, start + step * (stop_extra % 7), step)
+    assert roundtrip(op) == op
+
+
+@given(
+    gate=st.sampled_from([GateType.NOR, GateType.NOT, GateType.INIT0, GateType.INIT1]),
+    in_a=st.integers(0, 31),
+    in_b=st.integers(0, 31),
+    out=st.integers(0, 31),
+    p_a=st.integers(0, 15),
+    p_b_extra=st.integers(0, 15),
+    p_out=st.integers(0, 31),
+    gates=st.integers(1, 4),
+    p_step=st.integers(1, 8),
+)
+def test_logic_h_roundtrip_property(
+    gate, in_a, in_b, out, p_a, p_b_extra, p_out, gates, p_step
+):
+    op = LogicHOp(
+        gate, in_a, in_b, out,
+        p_a=p_a,
+        p_b=p_a + p_b_extra,
+        p_out=p_out,
+        p_end=p_out + (gates - 1) * p_step,
+        p_step=p_step,
+    )
+    assert roundtrip(op) == op

@@ -1,0 +1,195 @@
+"""Property-based tests for the bit-vector combinators.
+
+Each combinator is checked against plain Python integer arithmetic on
+randomly drawn words, executed gate-by-gate on the simulated crossbar.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.driver import bitvec as bv
+
+from tests.driver.harness import GateHarness
+
+WORD = st.integers(0, 0xFFFF)  # 16-bit words keep gate-level tests fast
+W = 16
+MASK = (1 << W) - 1
+
+COMMON = settings(max_examples=25, deadline=None)
+
+
+def make(h, value):
+    return h.input_bits(value, W)
+
+
+class TestBitwise:
+    @COMMON
+    @given(a=WORD, b=WORD)
+    def test_and_or_xor_not(self, a, b):
+        h = GateHarness()
+        ca, cb = make(h, a), make(h, b)
+        assert h.get_bits(bv.and_bits(h.gb, ca, cb)) == a & b
+        assert h.get_bits(bv.or_bits(h.gb, ca, cb)) == a | b
+        assert h.get_bits(bv.xor_bits(h.gb, ca, cb)) == a ^ b
+        assert h.get_bits(bv.not_bits(h.gb, ca)) == (~a) & MASK
+
+    @COMMON
+    @given(a=WORD, b=WORD, c=st.integers(0, 1))
+    def test_mux_bits(self, a, b, c):
+        h = GateHarness()
+        cond = h.input_bits(c, 1)[0]
+        out = bv.mux_bits(h.gb, cond, make(h, a), make(h, b))
+        assert h.get_bits(out) == (a if c else b)
+
+    def test_broadcast(self):
+        h = GateHarness()
+        cell = h.input_bits(1, 1)[0]
+        assert h.get_bits(bv.broadcast(h.gb, cell, 8)) == 0xFF
+
+    def test_width_mismatch(self):
+        h = GateHarness()
+        with pytest.raises(ValueError):
+            bv.and_bits(h.gb, h.gb.alloc_bits(4), h.gb.alloc_bits(5))
+
+
+class TestTrees:
+    @COMMON
+    @given(a=WORD)
+    def test_or_and_zero_trees(self, a):
+        h = GateHarness()
+        ca = make(h, a)
+        assert h.get_cell(bv.or_tree(h.gb, ca)) == (1 if a else 0)
+        assert h.get_cell(bv.and_tree(h.gb, ca)) == (1 if a == MASK else 0)
+        assert h.get_cell(bv.is_zero(h.gb, ca)) == (1 if a == 0 else 0)
+
+    @COMMON
+    @given(a=WORD, b=WORD)
+    def test_equals(self, a, b):
+        h = GateHarness()
+        assert h.get_cell(bv.equals(h.gb, make(h, a), make(h, b))) == int(a == b)
+
+    def test_or_tree_single_cell(self):
+        h = GateHarness()
+        cell = h.input_bits(1, 1)
+        assert h.get_cell(bv.or_tree(h.gb, cell)) == 1
+
+    def test_or_tree_with_repeated_constant(self):
+        h = GateHarness()
+        zero = h.gb.const(0)
+        cells = [zero, zero, zero, h.input_bits(1, 1)[0]]
+        assert h.get_cell(bv.or_tree(h.gb, cells)) == 1
+
+
+class TestArithmetic:
+    @COMMON
+    @given(a=WORD, b=WORD, cin=st.integers(0, 1))
+    def test_ripple_add(self, a, b, cin):
+        h = GateHarness()
+        cin_cell = h.input_bits(cin, 1)[0]
+        total, cout = bv.ripple_add(h.gb, make(h, a), make(h, b), cin=cin_cell)
+        value = a + b + cin
+        assert h.get_bits(total) == value & MASK
+        assert h.get_cell(cout) == value >> W
+
+    @COMMON
+    @given(a=WORD, b=WORD)
+    def test_ripple_sub(self, a, b):
+        h = GateHarness()
+        diff, borrow = bv.ripple_sub(h.gb, make(h, a), make(h, b))
+        assert h.get_bits(diff) == (a - b) & MASK
+        assert h.get_cell(borrow) == int(a < b)
+
+    @COMMON
+    @given(a=WORD, cond=st.integers(0, 1))
+    def test_increment(self, a, cond):
+        h = GateHarness()
+        cell = h.input_bits(cond, 1)[0]
+        out, carry = bv.increment(h.gb, make(h, a), cell)
+        value = a + cond
+        assert h.get_bits(out) == value & MASK
+        assert h.get_cell(carry) == value >> W
+
+    @COMMON
+    @given(a=WORD, b=WORD)
+    def test_carry_chain_matches_add(self, a, b):
+        h = GateHarness()
+        carry = bv.carry_chain(h.gb, make(h, a), make(h, b), h.gb.const(0))
+        assert h.get_cell(carry) == (a + b) >> W
+
+    @COMMON
+    @given(a=WORD, b=WORD)
+    def test_ult(self, a, b):
+        h = GateHarness()
+        assert h.get_cell(bv.ult(h.gb, make(h, a), make(h, b))) == int(a < b)
+
+    @COMMON
+    @given(a=WORD, b=WORD)
+    def test_slt(self, a, b):
+        h = GateHarness()
+        signed = lambda x: x - (1 << W) if x & (1 << (W - 1)) else x
+        assert h.get_cell(bv.slt(h.gb, make(h, a), make(h, b))) == int(
+            signed(a) < signed(b)
+        )
+
+
+class TestShifters:
+    @COMMON
+    @given(a=WORD, amount=st.integers(0, 31))
+    def test_shift_right_var(self, a, amount):
+        h = GateHarness()
+        amt = h.input_bits(amount, 5)
+        out, sticky = bv.shift_right_var(h.gb, make(h, a), amt, collect_sticky=True)
+        assert h.get_bits(out) == a >> amount
+        dropped = a & ((1 << min(amount, W)) - 1)
+        assert h.get_cell(sticky) == int(dropped != 0)
+
+    @COMMON
+    @given(a=WORD, amount=st.integers(0, 31))
+    def test_shift_left_var(self, a, amount):
+        h = GateHarness()
+        amt = h.input_bits(amount, 5)
+        out = bv.shift_left_var(h.gb, make(h, a), amt)
+        assert h.get_bits(out) == (a << amount) & MASK
+
+    @COMMON
+    @given(a=st.integers(1, MASK))
+    def test_normalize_left(self, a):
+        h = GateHarness()
+        norm, amount = bv.normalize_left(h.gb, make(h, a))
+        shift = W - a.bit_length()
+        assert h.get_bits(norm) == (a << shift) & MASK
+        assert h.get_bits(amount) == shift
+
+    def test_normalize_zero_stays_zero(self):
+        h = GateHarness()
+        norm, _ = bv.normalize_left(h.gb, make(h, 0))
+        assert h.get_bits(norm) == 0
+
+
+class TestRounding:
+    @COMMON
+    @given(
+        mantissa=st.integers(0, 0xFF),
+        g=st.integers(0, 1),
+        r=st.integers(0, 1),
+        s=st.integers(0, 1),
+    )
+    def test_round_nearest_even(self, mantissa, g, r, s):
+        h = GateHarness()
+        cells = h.input_bits(mantissa, 8)
+        rounded, carry = bv.round_nearest_even(
+            h.gb,
+            cells,
+            h.input_bits(g, 1)[0],
+            h.input_bits(r, 1)[0],
+            h.input_bits(s, 1)[0],
+        )
+        round_up = g and (r or s or (mantissa & 1))
+        expected = mantissa + int(round_up)
+        assert h.get_bits(rounded) == expected & 0xFF
+        assert h.get_cell(carry) == expected >> 8
+
+    def test_const_bits(self):
+        h = GateHarness()
+        assert h.get_bits(bv.const_bits(h.gb, 0b1011, 4)) == 0b1011
+        assert h.get_bits(bv.const_bits(h.gb, -1, 4)) == 0b1111

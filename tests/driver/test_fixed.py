@@ -1,0 +1,161 @@
+"""Tests for the fixed-point (int32) arithmetic suite, incl. properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.dtypes import int32
+from repro.isa.instructions import ROp
+from repro.theory.golden import golden_rtype
+
+from tests.conftest import int32s, rand_int32
+from tests.driver.harness import Chip, GateHarness, assert_same_bits
+
+COMMON = settings(max_examples=20, deadline=None)
+
+
+def run_pair(op: ROp, a: int, b: int = None, parallelism: str = "serial"):
+    """Execute one int32 op on a 1-element chip, returning the result."""
+    from repro.arch.config import small_config
+
+    chip = Chip(small_config(crossbars=1, rows=1), parallelism=parallelism)
+    chip.put(0, np.array([a], dtype=np.int32), int32)
+    if b is not None:
+        chip.put(1, np.array([b], dtype=np.int32), int32)
+        chip.run(op, int32, 2, 0, 1)
+    else:
+        chip.run(op, int32, 2, 0)
+    return int(chip.get(2, 1, int32)[0])
+
+
+class TestAddSub:
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_add_wraps(self, a, b):
+        expected = int(np.int32(np.int64(a) + np.int64(b)))
+        assert run_pair(ROp.ADD, a, b) == expected
+
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_sub_wraps(self, a, b):
+        expected = int(np.int32(np.int64(a) - np.int64(b)))
+        assert run_pair(ROp.SUB, a, b) == expected
+
+    def test_add_aliased_dest(self):
+        """dest == src falls back to the scratch-then-copy path."""
+        chip = Chip()
+        chip.put(0, np.array([3, -7], dtype=np.int32), int32)
+        chip.run(ROp.ADD, int32, 0, 0, 0)  # x = x + x
+        assert list(chip.get(0, 2, int32)) == [6, -14]
+
+    def test_carry_chain_across_whole_word(self):
+        assert run_pair(ROp.ADD, 0x7FFFFFFF, 1) == -(2**31)
+        assert run_pair(ROp.ADD, -1, 1) == 0
+
+
+class TestMul:
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_mul_truncates_like_numpy(self, a, b):
+        expected = int(np.int32((np.int64(a) * np.int64(b)) & 0xFFFFFFFF))
+        assert run_pair(ROp.MUL, a, b) == expected
+
+    def test_mul_identities(self):
+        assert run_pair(ROp.MUL, 123456, 0) == 0
+        assert run_pair(ROp.MUL, 123456, 1) == 123456
+        assert run_pair(ROp.MUL, -5, 7) == -35
+
+
+class TestDivMod:
+    @COMMON
+    @given(a=int32s(), b=int32s().filter(lambda x: x != 0))
+    def test_div_truncates_toward_zero(self, a, b):
+        if a == -(2**31) and b == -1:
+            expected = -(2**31)  # wraps, consistent with the golden rule
+        else:
+            q = abs(a) // abs(b)
+            expected = q if (a >= 0) == (b >= 0) else -q
+        assert run_pair(ROp.DIV, a, b) == expected
+
+    @COMMON
+    @given(a=int32s(), b=int32s().filter(lambda x: x != 0))
+    def test_mod_has_dividend_sign(self, a, b):
+        if a == -(2**31) and b == -1:
+            expected = 0
+        else:
+            r = abs(a) % abs(b)
+            expected = r if a >= 0 else -r
+        assert run_pair(ROp.MOD, a, b) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)],
+    )
+    def test_c_semantics_table(self, a, b, q, r):
+        assert run_pair(ROp.DIV, a, b) == q
+        assert run_pair(ROp.MOD, a, b) == r
+
+    def test_int_min_magnitude(self):
+        assert run_pair(ROp.DIV, -(2**31), 1) == -(2**31)
+        assert run_pair(ROp.DIV, -(2**31), 2) == -(2**30)
+
+
+class TestUnary:
+    @COMMON
+    @given(a=int32s())
+    def test_neg_abs_sign_zero(self, a):
+        assert run_pair(ROp.NEG, a) == int(np.int32(-np.int64(a) & 0xFFFFFFFF))
+        expected_abs = a if a >= 0 else -a
+        if a == -(2**31):
+            expected_abs = -(2**31)
+        assert run_pair(ROp.ABS, a) == expected_abs
+        assert run_pair(ROp.SIGN, a) == (0 if a == 0 else (1 if a > 0 else -1))
+        assert run_pair(ROp.ZERO, a) == int(a == 0)
+
+
+class TestCompare:
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_all_comparisons(self, a, b):
+        assert run_pair(ROp.LT, a, b) == int(a < b)
+        assert run_pair(ROp.LE, a, b) == int(a <= b)
+        assert run_pair(ROp.GT, a, b) == int(a > b)
+        assert run_pair(ROp.GE, a, b) == int(a >= b)
+        assert run_pair(ROp.EQ, a, b) == int(a == b)
+        assert run_pair(ROp.NE, a, b) == int(a != b)
+
+
+class TestVectorized:
+    """Whole-memory runs against the golden reference (multiple warps)."""
+
+    @pytest.mark.parametrize(
+        "op", [ROp.ADD, ROp.SUB, ROp.MUL, ROp.DIV, ROp.MOD, ROp.LT, ROp.EQ]
+    )
+    def test_random_vectors(self, op):
+        rng = np.random.default_rng(42)
+        chip = Chip()
+        n = chip.capacity
+        a = rand_int32(rng, n)
+        b = rand_int32(rng, n)
+        if op in (ROp.DIV, ROp.MOD):
+            b[b == 0] = 5
+        chip.put(0, a, int32)
+        chip.put(1, b, int32)
+        chip.run(op, int32, 2, 0, 1)
+        assert_same_bits(chip.get(2, n, int32), golden_rtype(op, int32, a, b))
+
+
+class TestCycleCounts:
+    def test_serial_add_near_theory(self):
+        """Measured micro-ops within ~10% of the 9N-gate bound (paper: 5%)."""
+        from repro.arch.config import small_config
+        from repro.theory.counts import serial_add_cycles
+
+        chip = Chip(small_config(crossbars=1, rows=1), parallelism="serial")
+        chip.put(0, np.array([1], np.int32), int32)
+        chip.put(1, np.array([2], np.int32), int32)
+        before = chip.simulator.stats.cycles
+        chip.run(ROp.ADD, int32, 2, 0, 1)
+        measured = chip.simulator.stats.cycles - before
+        theory = serial_add_cycles(32)
+        assert theory <= measured <= theory * 1.12

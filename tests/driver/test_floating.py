@@ -1,0 +1,212 @@
+"""Tests for the IEEE binary32 gate-level suite.
+
+Every arithmetic result must be bit-identical to NumPy float32 (RNE),
+within the documented FTZ envelope. Corner cases cover massive
+cancellation, carry-out rounding, ties-to-even, signed zeros, alignment
+sticky behaviour and exponent-boundary rounding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import small_config
+from repro.isa.dtypes import float32, int32
+from repro.isa.instructions import ROp
+
+from tests.conftest import rand_float32, safe_floats
+from tests.driver.harness import Chip, assert_same_bits
+
+COMMON = settings(max_examples=20, deadline=None)
+
+_CHIP_CACHE = {}
+
+
+def run_many(op: ROp, a: np.ndarray, b: np.ndarray = None) -> np.ndarray:
+    chip = Chip(small_config(crossbars=1, rows=8))
+    a = np.asarray(a, dtype=np.float32)
+    chip.put(0, a, float32)
+    if b is not None:
+        chip.put(1, np.asarray(b, dtype=np.float32), float32)
+        chip.run(op, float32, 2, 0, 1)
+    else:
+        chip.run(op, float32, 2, 0)
+    return chip.get(2, a.size, float32)
+
+
+def run_pair(op: ROp, a: float, b: float = None) -> float:
+    return float(run_many(op, np.array([a]), None if b is None else np.array([b]))[0])
+
+
+def f32(x) -> float:
+    return float(np.float32(x))
+
+
+class TestAddCornerCases:
+    CASES = [
+        (1.0, 1.0),
+        (1.0, -1.0),  # exact cancellation -> +0
+        (1.5, 2**-20),  # long alignment shift, sticky rounding
+        (1.0, 2**-24),  # exactly half an ulp: ties-to-even keeps 1.0
+        (1.0 + 2**-23, 2**-24),  # tie rounds to even (up this time)
+        (2**20, -1.0),  # effective subtraction with shift
+        (1.0000001, -1.0),  # massive cancellation
+        (3.5, 4.25),
+        (-7.375, 7.375),
+        (0.1, 0.2),  # classic inexact operands
+        (2**100, 2**-100),  # alignment beyond mantissa: sticky only
+        (1e30, -9.99999e29),
+        (float(np.float32(3.4e38)), float(np.float32(3.4e38))),  # overflow -> inf
+    ]
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_add_matches_numpy(self, a, b):
+        got = run_pair(ROp.ADD, f32(a), f32(b))
+        with np.errstate(over="ignore"):
+            want = float(np.float32(a) + np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_sub_matches_numpy(self, a, b):
+        got = run_pair(ROp.SUB, f32(a), f32(b))
+        want = float(np.float32(a) - np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+
+class TestSignedZeros:
+    @pytest.mark.parametrize(
+        "a,b,want",
+        [
+            (0.0, 0.0, 0.0),
+            (-0.0, -0.0, -0.0),
+            (0.0, -0.0, 0.0),
+            (-0.0, 0.0, 0.0),
+            (-0.0, 5.0, 5.0),
+            (5.0, -0.0, 5.0),
+            (0.0, -5.0, -5.0),
+        ],
+    )
+    def test_add_zero_signs(self, a, b, want):
+        got = np.float32(run_pair(ROp.ADD, a, b))
+        assert got.view(np.uint32) == np.float32(want).view(np.uint32)
+
+    def test_sub_equal_values_gives_positive_zero(self):
+        got = np.float32(run_pair(ROp.SUB, 3.25, 3.25))
+        assert got.view(np.uint32) == np.float32(0.0).view(np.uint32)
+
+    def test_mul_zero_sign_is_xor(self):
+        assert np.float32(run_pair(ROp.MUL, -0.0, 5.0)).view(np.uint32) == (
+            np.float32(-0.0).view(np.uint32)
+        )
+        assert np.float32(run_pair(ROp.MUL, -0.0, -5.0)).view(np.uint32) == 0
+
+
+class TestMulDivCornerCases:
+    MUL_CASES = [
+        (1.5, 1.5),
+        (1.0 + 2**-23, 1.0 + 2**-23),  # rounding at the last bit
+        (2.0, 0.75),
+        (1.9999999, 1.9999999),  # product needs the normalize shift
+        (3.0, 1.0 / 3.0),
+        (1e20, 1e20),  # overflow -> inf
+        (0.0, 123.0),
+    ]
+
+    @pytest.mark.parametrize("a,b", MUL_CASES)
+    def test_mul_matches_numpy(self, a, b):
+        got = run_pair(ROp.MUL, f32(a), f32(b))
+        with np.errstate(over="ignore"):
+            want = float(np.float32(a) * np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+    DIV_CASES = [
+        (1.0, 3.0),
+        (2.0, 1.0),
+        (1.0, 2.0),  # exact power of two
+        (355.0, 113.0),
+        (1.0, 1.9999999),
+        (-7.5, 2.5),
+        (0.0, 3.0),
+    ]
+
+    @pytest.mark.parametrize("a,b", DIV_CASES)
+    def test_div_matches_numpy(self, a, b):
+        got = run_pair(ROp.DIV, f32(a), f32(b))
+        want = float(np.float32(a) / np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+    def test_div_by_zero_gives_signed_inf(self):
+        assert run_pair(ROp.DIV, 1.0, 0.0) == float("inf")
+        assert run_pair(ROp.DIV, -1.0, 0.0) == float("-inf")
+
+
+class TestProperties:
+    @COMMON
+    @given(a=safe_floats(), b=safe_floats())
+    def test_add_property(self, a, b):
+        got = run_pair(ROp.ADD, a, b)
+        want = float(np.float32(a) + np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+    @COMMON
+    @given(a=safe_floats(), b=safe_floats())
+    def test_mul_property(self, a, b):
+        got = run_pair(ROp.MUL, a, b)
+        want = float(np.float32(a) * np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+    @COMMON
+    @given(a=safe_floats(), b=safe_floats())
+    def test_div_property(self, a, b):
+        got = run_pair(ROp.DIV, a, b)
+        want = float(np.float32(a) / np.float32(b))
+        assert np.float32(got).view(np.uint32) == np.float32(want).view(np.uint32)
+
+    @COMMON
+    @given(a=safe_floats(), b=safe_floats())
+    def test_compare_property(self, a, b):
+        na, nb = np.float32(a), np.float32(b)
+        chip = Chip(small_config(crossbars=1, rows=1))
+        chip.put(0, np.array([na]), float32)
+        chip.put(1, np.array([nb]), float32)
+        for op, want in [
+            (ROp.LT, na < nb), (ROp.LE, na <= nb), (ROp.GT, na > nb),
+            (ROp.GE, na >= nb), (ROp.EQ, na == nb), (ROp.NE, na != nb),
+        ]:
+            chip.run(op, float32, 2, 0, 1)
+            assert int(chip.get(2, 1, int32)[0]) == int(want), op
+
+
+class TestUnary:
+    @pytest.mark.parametrize("value", [0.0, -0.0, 1.5, -2.25, 1e30, -1e-30])
+    def test_neg_abs(self, value):
+        value = f32(value)
+        assert np.float32(run_pair(ROp.NEG, value)).view(np.uint32) == np.float32(
+            -np.float32(value)
+        ).view(np.uint32)
+        assert np.float32(run_pair(ROp.ABS, value)).view(np.uint32) == np.float32(
+            abs(np.float32(value))
+        ).view(np.uint32)
+
+    @pytest.mark.parametrize(
+        "value,want", [(2.5, 1.0), (-0.25, -1.0), (0.0, 0.0), (-0.0, 0.0)]
+    )
+    def test_sign(self, value, want):
+        assert run_pair(ROp.SIGN, value) == want
+
+    def test_zero_flag(self):
+        chip = Chip(small_config(crossbars=1, rows=4))
+        chip.put(0, np.array([0.0, -0.0, 1.0, -5.0], np.float32), float32)
+        chip.run(ROp.ZERO, float32, 1, 0)
+        assert list(chip.get(1, 4, int32)) == [1, 1, 0, 0]
+
+
+class TestVectorized:
+    def test_wide_exponent_mix(self):
+        rng = np.random.default_rng(7)
+        a = rand_float32(rng, 8, exp_band=30)
+        b = rand_float32(rng, 8, exp_band=30)
+        for op, want in [
+            (ROp.ADD, a + b), (ROp.SUB, a - b), (ROp.MUL, a * b), (ROp.DIV, a / b),
+        ]:
+            assert_same_bits(run_many(op, a, b), want.astype(np.float32))

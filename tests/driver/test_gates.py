@@ -1,0 +1,161 @@
+"""Tests for the gate-level builder: primitives, scratch pool, init rules."""
+
+import pytest
+
+from repro.driver.gates import GateError, ScratchOverflow
+
+from tests.driver.harness import GateHarness
+
+
+@pytest.fixture
+def h():
+    return GateHarness()
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("a,b,want", [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)])
+    def test_nor(self, h, a, b, want):
+        ca, cb = h.input_bits(a, 1)[0], h.input_bits(b, 1)[0]
+        assert h.get_cell(h.gb.nor(ca, cb)) == want
+
+    @pytest.mark.parametrize("a,want", [(0, 1), (1, 0)])
+    def test_not(self, h, a, want):
+        assert h.get_cell(h.gb.not_(h.input_bits(a, 1)[0])) == want
+
+    def test_nor_same_cell_is_not(self, h):
+        cell = h.input_bits(1, 1)[0]
+        assert h.get_cell(h.gb.nor(cell, cell)) == 0
+
+    def test_output_aliasing_rejected(self, h):
+        a = h.input_bits(1, 1)[0]
+        b = h.input_bits(0, 1)[0]
+        with pytest.raises(GateError):
+            h.gb.nor_into(a, b, a)
+
+    def test_copy(self, h):
+        for value in (0, 1):
+            cell = h.input_bits(value, 1)[0]
+            assert h.get_cell(h.gb.copy(cell)) == value
+
+
+class TestDerivedGates:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_two_input_gates(self, h, a, b):
+        ca, cb = h.input_bits(a, 1)[0], h.input_bits(b, 1)[0]
+        assert h.get_cell(h.gb.or_(ca, cb)) == (a | b)
+        assert h.get_cell(h.gb.and_(ca, cb)) == (a & b)
+        assert h.get_cell(h.gb.xor(ca, cb)) == (a ^ b)
+        assert h.get_cell(h.gb.xnor(ca, cb)) == 1 - (a ^ b)
+
+    @pytest.mark.parametrize("c", [0, 1])
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_mux(self, h, c, a, b):
+        cc = h.input_bits(c, 1)[0]
+        ca = h.input_bits(a, 1)[0]
+        cb = h.input_bits(b, 1)[0]
+        assert h.get_cell(h.gb.mux(cc, ca, cb)) == (a if c else b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_full_adder(self, h, a, b, cin):
+        ca, cb = h.input_bits(a, 1)[0], h.input_bits(b, 1)[0]
+        cc = h.input_bits(cin, 1)[0]
+        s, cout = h.gb.full_adder(ca, cb, cc)
+        total = a + b + cin
+        assert h.get_cell(s) == total & 1
+        assert h.get_cell(cout) == total >> 1
+
+
+class TestScratchPool:
+    def test_alloc_initializes_to_one(self, h):
+        cell = h.gb.alloc()
+        assert h.get_cell(cell) == 1
+
+    def test_free_and_realloc_reinitializes(self, h):
+        cell = h.gb.alloc()
+        h.set_cell(cell, 0)
+        h.gb.free(cell)
+        again = h.gb.alloc()
+        assert h.get_cell(again) == 1
+
+    def test_double_free_guarded(self, h):
+        cell = h.gb.alloc()
+        h.gb.free(cell)
+        with pytest.raises(GateError):
+            h.gb.free(cell)
+
+    def test_read_after_free_guarded(self, h):
+        cell = h.gb.alloc()
+        other = h.gb.alloc()
+        h.gb.free(cell)
+        with pytest.raises(GateError):
+            h.gb.nor(cell, other)
+
+    def test_register_cells_never_pooled(self, h):
+        cells = h.gb.register_cells(0)
+        h.gb.free_bits(cells)  # no-op, no error
+        assert len(cells) == 32
+
+    def test_const_cells_protected(self, h):
+        zero = h.gb.const(0)
+        one = h.gb.const(1)
+        h.gb.free(zero)
+        h.gb.free(one)
+        assert h.get_cell(zero) == 0
+        assert h.get_cell(one) == 1
+
+    def test_scratch_overflow(self, h):
+        capacity = h.gb.free_cell_count
+        for _ in range(capacity):
+            h.gb.alloc()
+        with pytest.raises(ScratchOverflow):
+            h.gb.alloc()
+
+    def test_bulk_init_amortization(self, h):
+        """Allocating a fresh column costs one micro-op, not 32."""
+        before = h.cycles
+        h.gb.alloc_bits(32)
+        # one column INIT1 (or few) rather than 32 single-cell inits
+        assert h.cycles - before <= 2
+
+    def test_reserve_column_takes_whole_register(self, h):
+        reg = h.gb.reserve_column()
+        free_before = h.gb.free_cell_count
+        h.gb.release_column(reg)
+        assert h.gb.free_cell_count == free_before + 32
+
+    def test_release_unreserved_rejected(self, h):
+        with pytest.raises(GateError):
+            h.gb.release_column(5)
+
+
+class TestRegisterHelpers:
+    def test_write_register(self, h):
+        bits = h.input_bits(0xCAFEBABE, 32)
+        h.gb.write_register(bits, 3)
+        assert h.get_register(3) == 0xCAFEBABE
+
+    def test_write_register_alias_staging(self, h):
+        """Sources living in the destination register are staged safely."""
+        h.set_register(2, 0x0000FFFF)
+        cells = h.gb.register_cells(2)
+        rotated = cells[16:] + cells[:16]
+        h.gb.write_register(rotated, 2)
+        assert h.get_register(2) == 0xFFFF0000
+
+    def test_not_column(self, h):
+        h.set_register(0, 0x12345678)
+        h.gb.init_column(1, 1)
+        h.gb.not_column(0, 1)
+        assert h.get_register(1) == (~0x12345678) & 0xFFFFFFFF
+
+    def test_not_column_alias_rejected(self, h):
+        with pytest.raises(GateError):
+            h.gb.not_column(0, 0)
+
+    def test_wrong_width_rejected(self, h):
+        with pytest.raises(GateError):
+            h.gb.write_register(h.gb.alloc_bits(8), 0)

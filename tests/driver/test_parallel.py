@@ -1,0 +1,115 @@
+"""Tests for the bit-parallel (partition) fast paths.
+
+Two claims: (1) parallel and serial lowering are result-equivalent, and
+(2) the parallel paths really are cheaper in micro-operations — the
+partition-parallelism benefit of Figure 4(b) / the paper's ablation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import small_config
+from repro.isa.dtypes import int32
+from repro.isa.instructions import RInstr, ROp
+
+from tests.conftest import int32s, rand_int32
+from tests.driver.harness import Chip, assert_same_bits
+
+COMMON = settings(max_examples=20, deadline=None)
+
+
+def run_both(op: ROp, a: int, b: int):
+    results = []
+    for mode in ("serial", "parallel"):
+        chip = Chip(small_config(crossbars=1, rows=1), parallelism=mode)
+        chip.put(0, np.array([a], np.int32), int32)
+        chip.put(1, np.array([b], np.int32), int32)
+        chip.run(op, int32, 2, 0, 1)
+        results.append(int(chip.get(2, 1, int32)[0]))
+    return results
+
+
+class TestEquivalence:
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_add_equivalent(self, a, b):
+        serial, parallel = run_both(ROp.ADD, a, b)
+        assert serial == parallel
+
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_sub_equivalent(self, a, b):
+        serial, parallel = run_both(ROp.SUB, a, b)
+        assert serial == parallel
+
+    @COMMON
+    @given(a=int32s(), b=int32s())
+    def test_bitwise_equivalent(self, a, b):
+        for op in (ROp.BIT_AND, ROp.BIT_OR, ROp.BIT_XOR):
+            serial, parallel = run_both(op, a, b)
+            assert serial == parallel, op
+
+    def test_not_equivalent(self):
+        for value in (0, -1, 0x12345678):
+            chip_s = Chip(small_config(crossbars=1, rows=1), parallelism="serial")
+            chip_p = Chip(small_config(crossbars=1, rows=1), parallelism="parallel")
+            for chip in (chip_s, chip_p):
+                chip.put(0, np.array([value], np.int32), int32)
+                chip.run(ROp.BIT_NOT, int32, 2, 0)
+            assert chip_s.get(2, 1, int32)[0] == chip_p.get(2, 1, int32)[0]
+
+    def test_not_aliased_dest(self):
+        chip = Chip(small_config(crossbars=1, rows=1), parallelism="parallel")
+        chip.put(0, np.array([0x0F0F0F0F], np.int32), int32)
+        chip.run(ROp.BIT_NOT, int32, 0, 0)
+        assert np.uint32(chip.get(0, 1, int32)[0]) == np.uint32(0xF0F0F0F0)
+
+
+def cycles_for(op: ROp, mode: str, sources: int = 2) -> int:
+    chip = Chip(small_config(crossbars=1, rows=1), parallelism=mode)
+    before = chip.simulator.stats.cycles
+    if sources == 2:
+        chip.run(op, int32, 2, 0, 1)
+    else:
+        chip.run(op, int32, 2, 0)
+    return chip.simulator.stats.cycles - before
+
+
+class TestSpeedups:
+    def test_parallel_add_is_cheaper(self):
+        serial = cycles_for(ROp.ADD, "serial")
+        parallel = cycles_for(ROp.ADD, "parallel")
+        assert parallel < serial * 0.75, (serial, parallel)
+
+    def test_parallel_bitwise_is_constant_cycles(self):
+        for op in (ROp.BIT_AND, ROp.BIT_OR, ROp.BIT_XOR):
+            assert cycles_for(op, "parallel") <= 16
+            assert cycles_for(op, "serial") > 64
+
+    def test_parallel_not_two_ops(self):
+        assert cycles_for(ROp.BIT_NOT, "parallel", sources=1) <= 4
+
+    def test_parallel_add_matches_formula(self):
+        from repro.theory.counts import parallel_add_cycles
+
+        measured = cycles_for(ROp.ADD, "parallel")
+        theory = parallel_add_cycles(32)
+        # Within a modest factor of the analytic count (inits included).
+        assert measured <= theory * 2.0
+        assert measured >= theory * 0.5
+
+
+class TestVectorParallel:
+    def test_whole_memory_parallel_add(self):
+        rng = np.random.default_rng(11)
+        chip = Chip(parallelism="parallel")
+        n = chip.capacity
+        a, b = rand_int32(rng, n), rand_int32(rng, n)
+        chip.put(0, a, int32)
+        chip.put(1, b, int32)
+        chip.run(ROp.ADD, int32, 2, 0, 1)
+        assert_same_bits(
+            chip.get(2, n, int32),
+            (a.astype(np.int64) + b).astype(np.uint32).view(np.int32),
+        )

@@ -1,0 +1,49 @@
+"""The paper's end-to-end example program (Figure 12) and the interactive
+session from the artifact appendix (Section G)."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+
+
+def my_func(a: pim.Tensor, b: pim.Tensor):
+    """Parallel multiplication and addition (Figure 12's myFunc)."""
+    return a * b + a
+
+
+class TestFigure12:
+    def test_program(self, device):
+        x = pim.zeros(64, dtype=pim.float32)
+        y = pim.zeros(64, dtype=pim.float32)
+        x[4], y[4] = 8.0, 0.5
+        x[5], y[5] = 20.0, 1.0
+        x[8], y[8] = 10.0, 1.0
+        z = my_func(x, y)
+        # 32.0 = 8 * 1.5 + 10 * 2  (even indices only)
+        assert z[::2].sum() == 32.0
+
+    def test_function_receives_references(self, device):
+        """Tensors pass by reference like numpy.array."""
+        x = pim.zeros(8, dtype=pim.float32)
+        y = pim.ones(8, dtype=pim.float32)
+        z = my_func(x, y)
+        assert z is not x
+        assert (z.to_numpy() == 0).all()
+
+
+class TestInteractiveSession:
+    """The artifact appendix's interactive walkthrough (Section G)."""
+
+    def test_session(self, device):
+        x = pim.zeros(8, dtype=pim.float32)
+        assert repr(x).startswith("Tensor(shape=(8,), dtype=float32)")
+        x[2] = 2.5
+        x[3] = 1.25
+        x[4] = 2.25
+        assert x.to_numpy().tolist() == [0.0, 0.0, 2.5, 1.25, 2.25, 0.0, 0.0, 0.0]
+        view = x[::2]
+        assert "TensorView" in repr(view)
+        assert view.to_numpy().tolist() == [0.0, 2.5, 2.25, 0.0]
+        assert view.sum() == 4.75
+        assert view.sort().to_numpy().tolist() == [0.0, 0.0, 2.25, 2.5]

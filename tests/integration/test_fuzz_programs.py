@@ -1,0 +1,123 @@
+"""Program-level fuzzing: random tensor expressions mirrored on NumPy.
+
+Each hypothesis example builds a random sequence of tensor operations
+(binary ops, scalar broadcasts, slicing, where) and executes it both on
+the PIM stack and on a NumPy mirror; the final values must be
+bit-identical. This exercises the allocator, alignment fallbacks, view
+machinery and the whole arithmetic suite in arbitrary interleavings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.pim as pim
+from repro.arch.config import PIMConfig
+from repro.pim.device import PIMDevice
+
+N = 16  # program vector length
+
+
+def _safe_float(rng):
+    sign = rng.integers(0, 2) << 31
+    exp = rng.integers(118, 137) << 23
+    frac = rng.integers(0, 1 << 23)
+    return np.uint32(sign | exp | frac).view(np.float32)
+
+
+class Mirror:
+    """A paired (PIM tensor, NumPy array) environment."""
+
+    def __init__(self, dtype_np, seed):
+        self.device = PIMDevice(PIMConfig(crossbars=4, rows=8))
+        self.dtype_np = dtype_np
+        self.rng = np.random.default_rng(seed)
+        self.pairs = []
+        for _ in range(2):
+            self.new_leaf()
+
+    def new_leaf(self):
+        if self.dtype_np == np.int32:
+            host = self.rng.integers(-100, 100, N).astype(np.int32)
+        else:
+            host = np.array([_safe_float(self.rng) for _ in range(N)],
+                            dtype=np.float32)
+        tensor = pim.Tensor(self.device, N, pim.int32 if
+                            self.dtype_np == np.int32 else pim.float32)
+        self.device.load_array(tensor.slot, host, tensor.dtype)
+        self.pairs.append((tensor, host))
+
+    def pick(self):
+        return self.pairs[self.rng.integers(0, len(self.pairs))]
+
+    def check_all(self):
+        for tensor, host in self.pairs:
+            if hasattr(tensor, "to_numpy"):
+                got = tensor.to_numpy()
+                assert got.view(np.uint32).tolist() == host.view(np.uint32).tolist()
+
+
+def _apply_step(mirror: Mirror, choice: int) -> None:
+    tensor_a, host_a = mirror.pick()
+    tensor_b, host_b = mirror.pick()
+    dtype_np = mirror.dtype_np
+    with np.errstate(all="ignore"):
+        if choice == 0:  # add
+            mirror.pairs.append((tensor_a + tensor_b, (host_a + host_b).astype(dtype_np)))
+        elif choice == 1:  # sub
+            mirror.pairs.append((tensor_a - tensor_b, (host_a - host_b).astype(dtype_np)))
+        elif choice == 2:  # mul (ints kept small enough not to wrap oddly;
+            # wrapping is fine anyway since both sides wrap identically)
+            if dtype_np == np.int32:
+                want = (host_a.astype(np.int64) * host_b.astype(np.int64)
+                        & 0xFFFFFFFF).astype(np.uint32).view(np.int32)
+            else:
+                want = (host_a * host_b).astype(np.float32)
+            mirror.pairs.append((tensor_a * tensor_b, want))
+        elif choice == 3:  # scalar add
+            scalar = 3 if dtype_np == np.int32 else np.float32(0.5)
+            mirror.pairs.append(
+                (tensor_a + scalar, (host_a + scalar).astype(dtype_np))
+            )
+        elif choice == 4:  # negate
+            mirror.pairs.append((-tensor_a, (-host_a).astype(dtype_np)))
+        elif choice == 5:  # where on comparison
+            cond_t = tensor_a < tensor_b
+            cond_h = host_a < host_b
+            mirror.pairs.append(
+                (
+                    pim.where(cond_t, tensor_a, tensor_b),
+                    np.where(cond_h, host_a, host_b).astype(dtype_np),
+                )
+            )
+        elif choice == 6:  # slice then add back (views both sides)
+            view = tensor_a[::2] + tensor_a[1::2]
+            want = (host_a[::2] + host_a[1::2]).astype(dtype_np)
+            got = view.to_numpy()
+            assert got.view(np.uint32).tolist() == want.view(np.uint32).tolist()
+        else:  # fresh leaf to diversify alignment pressure
+            mirror.new_leaf()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    steps=st.lists(st.integers(0, 7), min_size=3, max_size=10),
+)
+def test_fuzz_int_programs(seed, steps):
+    mirror = Mirror(np.int32, seed)
+    for choice in steps:
+        _apply_step(mirror, choice)
+    mirror.check_all()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    steps=st.lists(st.integers(0, 7), min_size=3, max_size=6),
+)
+def test_fuzz_float_programs(seed, steps):
+    mirror = Mirror(np.float32, seed)
+    for choice in steps:
+        _apply_step(mirror, choice)
+    mirror.check_all()

@@ -1,0 +1,63 @@
+"""Tests for ISA data types and raw-word conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.dtypes import (
+    array_to_raw,
+    float32,
+    int32,
+    raw_to_array,
+    raw_to_value,
+    value_to_raw,
+)
+
+from tests.conftest import int32s, safe_floats
+
+
+class TestScalars:
+    def test_int_roundtrip(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31)):
+            assert raw_to_value(value_to_raw(value, int32), int32) == value
+
+    def test_int_wraps(self):
+        assert value_to_raw(-1, int32) == 0xFFFFFFFF
+
+    def test_float_roundtrip(self):
+        for value in (0.0, 1.5, -2.25, 1e20, -1e-20):
+            expected = float(np.float32(value))
+            assert raw_to_value(value_to_raw(value, float32), float32) == expected
+
+    def test_float_bit_pattern(self):
+        assert value_to_raw(1.0, float32) == 0x3F800000
+        assert value_to_raw(-0.0, float32) == 0x80000000
+
+    def test_raw_out_of_range(self):
+        with pytest.raises(ValueError):
+            raw_to_value(1 << 32, int32)
+
+    @given(int32s())
+    def test_int_roundtrip_property(self, value):
+        assert raw_to_value(value_to_raw(value, int32), int32) == value
+
+    @given(safe_floats())
+    def test_float_roundtrip_property(self, value):
+        assert raw_to_value(value_to_raw(value, float32), float32) == np.float32(value)
+
+
+class TestArrays:
+    def test_int_array_roundtrip(self):
+        data = np.array([-5, 0, 7, 2**31 - 1], dtype=np.int32)
+        assert (raw_to_array(array_to_raw(data, int32), int32) == data).all()
+
+    def test_float_array_roundtrip(self):
+        data = np.array([0.5, -3.25, 1e10], dtype=np.float32)
+        raw = array_to_raw(data, float32)
+        assert raw.dtype == np.uint32
+        assert (raw_to_array(raw, float32) == data).all()
+
+    def test_dtype_properties(self):
+        assert int32.bits == 32 and not int32.is_float
+        assert float32.bits == 32 and float32.is_float
+        assert repr(float32) == "float32"

@@ -1,0 +1,92 @@
+"""Tests for macro-instruction definitions and validation."""
+
+import pytest
+
+from repro.arch.masks import RangeMask
+from repro.isa.dtypes import float32, int32
+from repro.isa.instructions import (
+    ARITY,
+    SUPPORT_MATRIX,
+    MoveInstr,
+    ReadInstr,
+    RInstr,
+    ROp,
+    WriteInstr,
+    validate,
+)
+
+REGS = 32
+
+
+class TestSupportMatrix:
+    def test_table_ii_coverage(self):
+        """Every Table II row exists with the right dtype support."""
+        both = {
+            ROp.ADD, ROp.SUB, ROp.MUL, ROp.DIV, ROp.NEG,
+            ROp.LT, ROp.LE, ROp.GT, ROp.GE, ROp.EQ, ROp.NE,
+            ROp.BIT_NOT, ROp.BIT_AND, ROp.BIT_OR, ROp.BIT_XOR,
+            ROp.SIGN, ROp.ZERO, ROp.ABS, ROp.MUX,
+        }
+        for op in both:
+            names = {d.name for d in SUPPORT_MATRIX[op]}
+            assert names == {"int32", "float32"}, op
+        assert {d.name for d in SUPPORT_MATRIX[ROp.MOD]} == {"int32"}
+
+    def test_arity_defined_for_all_ops(self):
+        assert set(ARITY) == set(SUPPORT_MATRIX)
+
+
+class TestValidation:
+    def test_valid_add(self):
+        validate(RInstr(ROp.ADD, int32, dest=0, src_a=1, src_b=2), REGS)
+
+    def test_float_mod_rejected(self):
+        with pytest.raises(ValueError):
+            validate(RInstr(ROp.MOD, float32, dest=0, src_a=1, src_b=2), REGS)
+
+    def test_missing_operand(self):
+        with pytest.raises(ValueError):
+            validate(RInstr(ROp.ADD, int32, dest=0, src_a=1), REGS)
+
+    def test_extra_operand(self):
+        with pytest.raises(ValueError):
+            validate(
+                RInstr(ROp.NEG, int32, dest=0, src_a=1, src_b=2), REGS
+            )
+
+    def test_mux_needs_three_sources(self):
+        validate(RInstr(ROp.MUX, int32, dest=0, src_a=1, src_b=2, src_c=3), REGS)
+        with pytest.raises(ValueError):
+            validate(RInstr(ROp.MUX, int32, dest=0, src_a=1, src_b=2), REGS)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate(RInstr(ROp.ADD, int32, dest=40, src_a=1, src_b=2), REGS)
+
+    def test_sources_helper(self):
+        instr = RInstr(ROp.MUX, int32, dest=0, src_a=1, src_b=2, src_c=3)
+        assert instr.sources() == (1, 2, 3)
+        assert RInstr(ROp.NEG, int32, dest=0, src_a=7).sources() == (7,)
+
+    def test_move_validation(self):
+        validate(MoveInstr(0, 1, src_thread=0, dst_thread=1), REGS)
+        with pytest.raises(ValueError):
+            validate(MoveInstr(0, 99, src_thread=0, dst_thread=1), REGS)
+
+    def test_read_write_validation(self):
+        validate(ReadInstr(0, 0, 5), REGS)
+        validate(WriteInstr(5, 0xFFFFFFFF), REGS)
+        with pytest.raises(ValueError):
+            validate(WriteInstr(5, 1 << 32), REGS)
+        with pytest.raises(ValueError):
+            validate(ReadInstr(0, 0, 99), REGS)
+
+    def test_non_instruction_rejected(self):
+        with pytest.raises(TypeError):
+            validate(object(), REGS)  # type: ignore[arg-type]
+
+    def test_write_with_masks(self):
+        validate(
+            WriteInstr(3, 7, warp_mask=RangeMask(0, 2, 1), row_mask=RangeMask.single(4)),
+            REGS,
+        )

@@ -1,0 +1,109 @@
+"""Tests for PIMDevice: element addressing, DMA paths, mask segmentation."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.arch.config import PIMConfig
+from repro.arch.masks import RangeMask
+from repro.isa.dtypes import float32, int32
+from repro.pim.device import PIMDevice
+from repro.pim.malloc import Slot
+
+
+@pytest.fixture
+def dev():
+    return PIMDevice(PIMConfig(crossbars=4, rows=8))
+
+
+class TestAddressing:
+    def test_locate_row_major(self, dev):
+        slot = Slot(reg=0, warp_start=1, warp_count=2)
+        assert dev.locate(slot, 0) == (1, 0)
+        assert dev.locate(slot, 7) == (1, 7)
+        assert dev.locate(slot, 8) == (2, 0)
+
+
+class TestDMA:
+    def test_load_dump_roundtrip(self, dev):
+        slot = dev.allocator.allocate(20)
+        data = np.arange(20, dtype=np.int32)
+        dev.load_array(slot, data, int32)
+        np.testing.assert_array_equal(dev.dump_array(slot, 20, int32), data)
+
+    def test_load_respects_warp_offset(self, dev):
+        first = dev.allocator.allocate(8)
+        slot = Slot(reg=1, warp_start=2, warp_count=1)
+        dev.allocator._claim(1, 2, 1)
+        data = np.full(8, 7.5, dtype=np.float32)
+        dev.load_array(slot, data, float32)
+        assert dev.simulator.memory.get_word(2, 0, 1) == np.float32(7.5).view(np.uint32)
+
+    def test_dma_does_not_touch_stats(self, dev):
+        slot = dev.allocator.allocate(8)
+        before = dev.simulator.stats.cycles
+        dev.load_array(slot, np.zeros(8, np.int32), int32)
+        dev.dump_array(slot, 8, int32)
+        assert dev.simulator.stats.cycles == before
+
+
+class TestSegments:
+    def _segments(self, dev, slot_warps, mask):
+        slot = Slot(reg=0, warp_start=0, warp_count=slot_warps)
+        return dev.segments(slot, mask)
+
+    def _covered(self, segments, rows):
+        elements = []
+        for warp_mask, row_mask in segments:
+            for warp in warp_mask.indices():
+                for row in row_mask.indices():
+                    elements.append(warp * rows + row)
+        return sorted(elements)
+
+    def test_full_single_warp(self, dev):
+        segments = self._segments(dev, 1, RangeMask.all(8))
+        assert len(segments) == 1
+        assert self._covered(segments, 8) == list(range(8))
+
+    def test_full_multi_warp_merges(self, dev):
+        segments = self._segments(dev, 3, RangeMask.all(24))
+        assert len(segments) == 1  # identical row masks merge into one group
+        assert self._covered(segments, 8) == list(range(24))
+
+    def test_partial_last_warp_splits(self, dev):
+        segments = self._segments(dev, 3, RangeMask.all(20))
+        assert len(segments) == 2
+        assert self._covered(segments, 8) == list(range(20))
+
+    def test_stride_dividing_rows(self, dev):
+        mask = RangeMask(0, 22, 2)  # step 2 divides rows=8
+        segments = self._segments(dev, 3, mask)
+        assert self._covered(segments, 8) == list(range(0, 23, 2))
+        assert len(segments) == 1
+
+    def test_stride_not_dividing_rows(self, dev):
+        mask = RangeMask(0, 21, 3)  # step 3 vs rows=8: phase shifts per warp
+        segments = self._segments(dev, 3, mask)
+        assert self._covered(segments, 8) == list(range(0, 22, 3))
+        assert len(segments) >= 2  # cannot merge differing phases
+
+    def test_offset_stride(self, dev):
+        mask = RangeMask(5, 21, 4)
+        segments = self._segments(dev, 3, mask)
+        assert self._covered(segments, 8) == [5, 9, 13, 17, 21]
+
+    @pytest.mark.parametrize("start,stop,step", [
+        (0, 31, 1), (1, 31, 2), (3, 27, 4), (0, 30, 5), (7, 23, 8), (2, 2, 1),
+    ])
+    def test_coverage_property(self, dev, start, stop, step):
+        stop = start + ((stop - start) // step) * step
+        mask = RangeMask(start, stop, step)
+        segments = self._segments(dev, 4, mask)
+        assert self._covered(segments, 8) == list(mask.indices())
+
+    def test_segments_use_absolute_warps(self, dev):
+        slot = Slot(reg=0, warp_start=2, warp_count=2)
+        segments = dev.segments(slot, RangeMask.all(16))
+        (warp_mask, _), = segments
+        assert warp_mask.start == 2
+        assert warp_mask.stop == 3

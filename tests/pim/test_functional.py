@@ -1,0 +1,86 @@
+"""Tests for the module-level constructors and where()."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self, device):
+        assert (pim.zeros(6, dtype=pim.int32).to_numpy() == 0).all()
+        assert (pim.ones(6, dtype=pim.int32).to_numpy() == 1).all()
+        assert (pim.full(6, 2.5, dtype=pim.float32).to_numpy() == 2.5).all()
+
+    def test_arange(self, device):
+        assert (pim.arange(10).to_numpy() == np.arange(10)).all()
+
+    def test_dtype_aliases(self, device):
+        assert pim.zeros(3, dtype=int).dtype.name == "int32"
+        assert pim.zeros(3, dtype=float).dtype.name == "float32"
+        assert pim.zeros(3, dtype=np.int32).dtype.name == "int32"
+
+    def test_unsupported_dtype(self, device):
+        with pytest.raises(TypeError):
+            pim.zeros(3, dtype=np.float64)
+
+    def test_from_to_numpy_roundtrip(self, device):
+        data = np.array([1.5, -2.25, 0.0, 1e10], dtype=np.float32)
+        assert (pim.to_numpy(pim.from_numpy(data)) == data).all()
+
+    def test_from_numpy_rejects_2d(self, device):
+        with pytest.raises(ValueError):
+            pim.from_numpy(np.zeros((2, 2), dtype=np.int32))
+
+    def test_multi_warp_fill(self, device):
+        n = device.rows * 3 + 1
+        assert (pim.full(n, 9, dtype=pim.int32).to_numpy() == 9).all()
+
+
+class TestWhere:
+    def test_tensor_operands(self, device):
+        cond = pim.from_numpy(np.array([1, 0, 1, 0], dtype=np.int32))
+        a = pim.from_numpy(np.array([10, 20, 30, 40], dtype=np.int32))
+        b = pim.from_numpy(np.array([-1, -2, -3, -4], dtype=np.int32))
+        assert (pim.where(cond, a, b).to_numpy() == [10, -2, 30, -4]).all()
+
+    def test_scalar_operands(self, device):
+        x = pim.from_numpy(np.arange(8, dtype=np.int32))
+        result = pim.where(x < 4, x, pim.full(8, -1, dtype=pim.int32))
+        assert (result.to_numpy() == [0, 1, 2, 3, -1, -1, -1, -1]).all()
+
+    def test_scalar_true_branch(self, device):
+        x = pim.from_numpy(np.arange(6, dtype=np.int32))
+        result = pim.where(x < 3, 100, x)
+        assert (result.to_numpy() == [100, 100, 100, 3, 4, 5]).all()
+
+    def test_float_values(self, device):
+        cond = pim.from_numpy(np.array([0, 1, 1, 0], dtype=np.int32))
+        a = pim.from_numpy(np.array([1.5, 2.5, 3.5, 4.5], dtype=np.float32))
+        b = pim.from_numpy(np.array([-1.0, -2.0, -3.0, -4.0], dtype=np.float32))
+        assert (pim.where(cond, a, b).to_numpy() == [-1.0, 2.5, 3.5, -4.0]).all()
+
+    def test_condition_must_be_tensor(self, device):
+        with pytest.raises(TypeError):
+            pim.where(1, pim.zeros(2, dtype=pim.int32), pim.zeros(2, dtype=pim.int32))
+
+    def test_value_dtypes_must_match(self, device):
+        cond = pim.zeros(2, dtype=pim.int32)
+        with pytest.raises(TypeError):
+            pim.where(cond, pim.zeros(2, dtype=pim.int32), pim.zeros(2, dtype=pim.float32))
+
+
+class TestDeviceManagement:
+    def test_init_with_kwargs(self):
+        device = pim.init(crossbars=4, rows=16)
+        assert device.config.crossbars == 4
+        x = pim.zeros(4, dtype=pim.int32)
+        assert x.device is device
+        pim.reset()
+
+    def test_reset_creates_fresh_default(self):
+        first = pim.default_device()
+        pim.reset()
+        second = pim.default_device()
+        assert first is not second
+        pim.reset()

@@ -1,0 +1,109 @@
+"""Tests for the MatPIM-style linear algebra layer."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.pim.linalg import Matrix, dot, matmul, matvec
+
+
+class TestMatrix:
+    def test_from_to_numpy_roundtrip(self, device):
+        data = np.arange(12, dtype=np.float32).reshape(4, 3)
+        matrix = Matrix.from_numpy(data)
+        np.testing.assert_array_equal(matrix.to_numpy(), data)
+        assert matrix.shape == (4, 3)
+
+    def test_int_matrix(self, device):
+        data = np.arange(6, dtype=np.int32).reshape(2, 3)
+        np.testing.assert_array_equal(Matrix.from_numpy(data).to_numpy(), data)
+
+    def test_rejects_1d(self, device):
+        with pytest.raises(ValueError):
+            Matrix.from_numpy(np.arange(4, dtype=np.float32))
+
+    def test_rejects_float64(self, device):
+        with pytest.raises(TypeError):
+            Matrix.from_numpy(np.zeros((2, 2)))
+
+    def test_column_view_shares_storage(self, device):
+        data = np.arange(8, dtype=np.int32).reshape(4, 2)
+        matrix = Matrix.from_numpy(data)
+        col = matrix.column(1)
+        np.testing.assert_array_equal(col.to_numpy(), data[:, 1])
+
+
+class TestMatvec:
+    def test_int_matvec_host_vector(self, device):
+        a = np.array([[1, 2], [3, 4], [5, 6]], dtype=np.int32)
+        x = np.array([10, 100], dtype=np.int32)
+        got = Matrix.from_numpy(a).matvec(x).to_numpy()
+        np.testing.assert_array_equal(got, a @ x)
+
+    def test_float_matvec(self, device):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (8, 4)).astype(np.float32)
+        x = rng.uniform(-1, 1, 4).astype(np.float32)
+        got = Matrix.from_numpy(a).matvec(x).to_numpy()
+        np.testing.assert_allclose(got, a @ x, rtol=1e-5, atol=1e-6)
+
+    def test_matvec_with_pim_vector(self, device):
+        a = np.array([[2, 0], [0, 3]], dtype=np.int32)
+        x = pim.from_numpy(np.array([5, 7], dtype=np.int32))
+        got = matvec(Matrix.from_numpy(a), x).to_numpy()
+        np.testing.assert_array_equal(got, [10, 21])
+
+    def test_matmul_operator(self, device):
+        a = np.array([[1, 2], [3, 4]], dtype=np.int32)
+        x = np.array([1, -1], dtype=np.int32)
+        got = (Matrix.from_numpy(a) @ x).to_numpy()
+        np.testing.assert_array_equal(got, a @ x)
+
+    def test_length_mismatch(self, device):
+        with pytest.raises(ValueError):
+            Matrix.from_numpy(np.zeros((2, 2), dtype=np.int32)).matvec([1, 2, 3])
+
+
+class TestMatmul:
+    def test_int_matmul(self, device):
+        a = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.int32)
+        b = np.array([[7, 8], [9, 10], [11, 12]], dtype=np.int32)
+        got = matmul(Matrix.from_numpy(a), Matrix.from_numpy(b)).to_numpy()
+        np.testing.assert_array_equal(got, a @ b)
+
+    def test_float_matmul(self, device):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, (4, 3)).astype(np.float32)
+        b = rng.uniform(-1, 1, (3, 2)).astype(np.float32)
+        got = (Matrix.from_numpy(a) @ Matrix.from_numpy(b)).to_numpy()
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5, atol=1e-6)
+
+    def test_shape_mismatch(self, device):
+        a = Matrix.from_numpy(np.zeros((2, 3), dtype=np.int32))
+        b = Matrix.from_numpy(np.zeros((2, 3), dtype=np.int32))
+        with pytest.raises(ValueError):
+            a @ b
+
+    def test_identity(self, device):
+        eye = Matrix.from_numpy(np.eye(3, dtype=np.int32))
+        a = np.array([[1, 2, 3], [4, 5, 6], [7, 8, 9]], dtype=np.int32)
+        got = (Matrix.from_numpy(a) @ eye).to_numpy()
+        np.testing.assert_array_equal(got, a)
+
+    def test_transpose_numpy(self, device):
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        np.testing.assert_array_equal(
+            Matrix.from_numpy(a).transpose_numpy().to_numpy(), a.T
+        )
+
+
+class TestDot:
+    def test_int_dot(self, device):
+        a = np.arange(8, dtype=np.int32)
+        b = np.arange(8, dtype=np.int32)[::-1].copy()
+        assert dot(pim.from_numpy(a), pim.from_numpy(b)) == int(a @ b)
+
+    def test_view_dot(self, device):
+        a = np.arange(16, dtype=np.int32)
+        x = pim.from_numpy(a)
+        assert dot(x[::2], x[1::2]) == int(a[::2] @ a[1::2])

@@ -1,0 +1,86 @@
+"""Tests for the dynamic memory manager (register/warp allocator)."""
+
+import pytest
+
+from repro.arch.config import small_config
+from repro.pim.malloc import Allocator, PIMMemoryError, Slot
+
+
+@pytest.fixture
+def allocator():
+    # 4 crossbars x 16 rows, 16 user registers
+    return Allocator(small_config(crossbars=4, rows=16))
+
+
+class TestAllocation:
+    def test_warps_needed(self, allocator):
+        assert allocator.warps_needed(1) == 1
+        assert allocator.warps_needed(16) == 1
+        assert allocator.warps_needed(17) == 2
+        assert allocator.warps_needed(64) == 4
+
+    def test_invalid_length(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.warps_needed(0)
+
+    def test_first_fit_packs_registers(self, allocator):
+        a = allocator.allocate(16)
+        b = allocator.allocate(16)
+        assert a.warp_start == b.warp_start == 0
+        assert a.reg != b.reg
+
+    def test_reference_alignment_preferred(self, allocator):
+        ref = allocator.allocate(32)  # warps 0..1
+        blocker = allocator.allocate(16)  # takes reg on warp 0
+        aligned = allocator.allocate(32, reference=ref)
+        assert aligned.warp_start == ref.warp_start
+        assert aligned.reg not in (ref.reg, blocker.reg)
+
+    def test_reference_alignment_with_offset_reference(self, allocator):
+        # Occupy warps so a later reference sits at warp 2.
+        filler = [allocator.allocate(32) for _ in range(2)]
+        ref = Slot(reg=5, warp_start=2, warp_count=2)
+        aligned = allocator.allocate(32, reference=ref)
+        assert aligned.warp_start == 2
+
+    def test_falls_back_when_reference_range_full(self, allocator):
+        cfg_regs = allocator.config.user_registers
+        ref = allocator.allocate(16)
+        for _ in range(cfg_regs - 1):
+            allocator.allocate(16)  # exhaust registers on warp 0
+        other = allocator.allocate(16, reference=ref)
+        assert other.warp_start != ref.warp_start
+
+    def test_exhaustion_raises(self, allocator):
+        total = allocator.config.user_registers * allocator.config.crossbars
+        for _ in range(total):
+            allocator.allocate(16)
+        with pytest.raises(PIMMemoryError):
+            allocator.allocate(16)
+
+    def test_multi_warp_contiguity(self, allocator):
+        slot = allocator.allocate(49)  # 4 warps of 16
+        assert slot.warp_count == 4
+        assert slot.warp_stop == slot.warp_start + 4
+
+
+class TestFree:
+    def test_free_enables_reuse(self, allocator):
+        slot = allocator.allocate(64)
+        allocator.free(slot)
+        again = allocator.allocate(64)
+        assert again == slot
+
+    def test_free_is_idempotent(self, allocator):
+        slot = allocator.allocate(16)
+        allocator.free(slot)
+        allocator.free(slot)  # no error
+        assert allocator.live_slots == 0
+
+    def test_live_slots_and_occupancy(self, allocator):
+        assert allocator.occupancy() == 0.0
+        slot = allocator.allocate(32)
+        assert allocator.live_slots == 1
+        assert allocator.occupancy() == pytest.approx(2 / (16 * 4))
+        allocator.free(slot)
+        assert allocator.occupancy() == 0.0

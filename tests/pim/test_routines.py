@@ -1,0 +1,137 @@
+"""Tests for reduction, sorting and CORDIC routines."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.isa.instructions import ROp
+
+from tests.conftest import rand_float32, rand_int32
+
+
+class TestReduce:
+    def test_int_sum_matches_numpy(self, device, rng):
+        data = rng.integers(-1000, 1000, 50).astype(np.int32)
+        assert pim.from_numpy(data).sum() == data.sum()
+
+    def test_single_element(self, device):
+        assert pim.from_numpy(np.array([7], dtype=np.int32)).sum() == 7
+
+    def test_odd_lengths(self, device):
+        for n in (2, 3, 5, 7, 13, 31):
+            data = np.arange(n, dtype=np.int32)
+            assert pim.from_numpy(data).sum() == data.sum(), n
+
+    def test_float_sum_bit_exact_with_fold_order(self, device):
+        """The log-time reduction adds in a fixed fold pattern; the result
+        must be bit-identical to the same fold computed on the host."""
+        for n in (5, 16, 23):
+            data = rand_float32(np.random.default_rng(n), n)
+            got = pim.from_numpy(data).sum()
+            vals = list(data)
+            while len(vals) > 1:
+                half = len(vals) // 2
+                keep = len(vals) - half
+                vals = [
+                    np.float32(vals[i] + vals[keep + i]) if i < half else vals[i]
+                    for i in range(keep)
+                ]
+            assert np.float32(got).view(np.uint32) == np.float32(vals[0]).view(
+                np.uint32
+            ), n
+
+    def test_prod(self, device):
+        data = np.array([1, 2, 3, 4, 5], dtype=np.int32)
+        assert pim.from_numpy(data).prod() == 120
+
+    def test_float_prod(self, device):
+        data = np.array([0.5, 2.0, 4.0, 0.25], dtype=np.float32)
+        assert pim.from_numpy(data).prod() == 1.0
+
+    def test_sum_across_warps(self, big_device):
+        n = big_device.rows * 5 + 3
+        data = np.arange(n, dtype=np.int32)
+        assert pim.from_numpy(data).sum() == data.sum()
+
+    def test_reduce_rejects_other_ops(self, device):
+        with pytest.raises(ValueError):
+            pim.reduce(pim.zeros(4, dtype=pim.int32), ROp.SUB)
+
+    def test_reduce_does_not_clobber_input(self, device):
+        data = np.arange(8, dtype=np.int32)
+        x = pim.from_numpy(data)
+        x.sum()
+        assert (x.to_numpy() == data).all()
+
+
+class TestSort:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 20, 33])
+    def test_int_sort_lengths(self, device, n):
+        rng = np.random.default_rng(n)
+        data = rng.integers(-100, 100, n).astype(np.int32)
+        got = pim.from_numpy(data).sort().to_numpy()
+        assert (got == np.sort(data)).all()
+
+    def test_float_sort(self, device, rng):
+        data = (rng.normal(size=24) * 100).astype(np.float32)
+        got = pim.from_numpy(data).sort().to_numpy()
+        assert (got == np.sort(data)).all()
+
+    def test_sort_with_duplicates(self, device):
+        data = np.array([3, 1, 3, 1, 2, 2, 3, 1], dtype=np.int32)
+        assert (pim.from_numpy(data).sort().to_numpy() == np.sort(data)).all()
+
+    def test_sort_negative_floats(self, device):
+        data = np.array([-1.5, 2.5, -3.5, 0.0, 1.0, -0.5], dtype=np.float32)
+        assert (pim.from_numpy(data).sort().to_numpy() == np.sort(data)).all()
+
+    def test_sort_already_sorted(self, device):
+        data = np.arange(16, dtype=np.int32)
+        assert (pim.from_numpy(data).sort().to_numpy() == data).all()
+
+    def test_sort_does_not_clobber_input(self, device):
+        data = np.array([5, 2, 9, 1], dtype=np.int32)
+        x = pim.from_numpy(data)
+        x.sort()
+        assert (x.to_numpy() == data).all()
+
+    def test_inter_crossbar_sort(self, big_device):
+        """Sorting more elements than one crossbar holds forces the
+        bitonic stages through inter-warp move instructions."""
+        rng = np.random.default_rng(77)
+        n = big_device.rows * 4  # spans 4 warps
+        data = rng.integers(-10000, 10000, n).astype(np.int32)
+        got = pim.from_numpy(data).sort().to_numpy()
+        assert (got == np.sort(data)).all()
+
+    def test_view_sort(self, device):
+        data = np.array([9, 1, 8, 2, 7, 3], dtype=np.int32)
+        x = pim.from_numpy(data)
+        assert (x[1::2].sort().to_numpy() == np.sort(data[1::2])).all()
+
+
+class TestCordic:
+    def test_sine_accuracy(self, device, rng):
+        angles = rng.uniform(-np.pi / 2, np.pi / 2, 16).astype(np.float32)
+        got = pim.cordic_sin(pim.from_numpy(angles)).to_numpy()
+        assert np.abs(got - np.sin(angles)).max() < 1e-5
+
+    def test_cosine_accuracy(self, device, rng):
+        angles = rng.uniform(-np.pi / 2, np.pi / 2, 16).astype(np.float32)
+        got = pim.cordic_cos(pim.from_numpy(angles)).to_numpy()
+        assert np.abs(got - np.cos(angles)).max() < 1e-5
+
+    def test_boundary_angles(self, device):
+        angles = np.array([-np.pi / 2, 0.0, np.pi / 2], dtype=np.float32)
+        got = pim.cordic_sin(pim.from_numpy(angles)).to_numpy()
+        assert np.abs(got - np.sin(angles)).max() < 1e-5
+
+    def test_requires_float(self, device):
+        with pytest.raises(TypeError):
+            pim.cordic_sin(pim.zeros(4, dtype=pim.int32))
+
+    def test_view_input(self, device, rng):
+        angles = rng.uniform(-1.0, 1.0, 16).astype(np.float32)
+        x = pim.from_numpy(angles)
+        got = pim.cordic_sin(x[::2]).to_numpy()
+        assert np.abs(got - np.sin(angles[::2])).max() < 1e-5

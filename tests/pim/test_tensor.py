@@ -1,0 +1,182 @@
+"""Tests for Tensor: indexing, operators, scalars, alignment fallback."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.theory.golden import golden_rtype
+from repro.isa.instructions import ROp
+from repro.isa.dtypes import int32 as isa_int32
+
+from tests.conftest import rand_float32, rand_int32
+
+
+class TestCreationAndIndexing:
+    def test_zeros(self, device):
+        x = pim.zeros(10, dtype=pim.float32)
+        assert x.shape == (10,)
+        assert (x.to_numpy() == 0).all()
+
+    def test_scalar_read_write(self, device):
+        x = pim.zeros(8, dtype=pim.float32)
+        x[4] = 8.0
+        assert x[4] == 8.0
+        assert x[0] == 0.0
+
+    def test_negative_index(self, device):
+        x = pim.from_numpy(np.arange(8, dtype=np.int32))
+        assert x[-1] == 7
+        x[-2] = 99
+        assert x[6] == 99
+
+    def test_index_out_of_range(self, device):
+        x = pim.zeros(4, dtype=pim.int32)
+        with pytest.raises(IndexError):
+            x[4]
+        with pytest.raises(IndexError):
+            x[-5] = 1
+
+    def test_repr_matches_paper_style(self, device):
+        x = pim.zeros(3, dtype=pim.float32)
+        text = repr(x)
+        assert text.startswith("Tensor(shape=(3,), dtype=float32)")
+
+    def test_multi_warp_tensor(self, device):
+        n = device.rows * 3 + 5
+        data = np.arange(n, dtype=np.int32)
+        x = pim.from_numpy(data)
+        assert (x.to_numpy() == data).all()
+        assert x[device.rows + 1] == device.rows + 1
+
+    def test_from_numpy_via_isa(self, device):
+        data = np.array([3, -1, 7], dtype=np.int32)
+        x = pim.from_numpy(data, via="isa")
+        assert (x.to_numpy() == data).all()
+
+    def test_from_numpy_rejects_other_dtypes(self, device):
+        with pytest.raises(TypeError):
+            pim.from_numpy(np.arange(4, dtype=np.float64))
+
+    def test_slot_freed_on_del(self, device):
+        before = device.allocator.live_slots
+        x = pim.zeros(8, dtype=pim.int32)
+        assert device.allocator.live_slots == before + 1
+        del x
+        assert device.allocator.live_slots == before
+
+
+class TestArithmeticOperators:
+    def test_int_binary_ops(self, device, rng):
+        n = 32
+        a = rand_int32(rng, n)
+        b = rand_int32(rng, n)
+        b[b == 0] = 2
+        ta, tb = pim.from_numpy(a), pim.from_numpy(b)
+        cases = [
+            (ta + tb, ROp.ADD), (ta - tb, ROp.SUB), (ta * tb, ROp.MUL),
+            (ta / tb, ROp.DIV), (ta % tb, ROp.MOD),
+            (ta & tb, ROp.BIT_AND), (ta | tb, ROp.BIT_OR), (ta ^ tb, ROp.BIT_XOR),
+        ]
+        for result, op in cases:
+            want = golden_rtype(op, isa_int32, a, b)
+            assert (result.to_numpy().view(np.uint32) == want.view(np.uint32)).all(), op
+
+    def test_float_binary_ops(self, device, rng):
+        n = 32
+        a = rand_float32(rng, n)
+        b = rand_float32(rng, n)
+        ta, tb = pim.from_numpy(a), pim.from_numpy(b)
+        for result, want in [
+            (ta + tb, a + b), (ta - tb, a - b), (ta * tb, a * b), (ta / tb, a / b),
+        ]:
+            got = result.to_numpy()
+            assert (got.view(np.uint32) == want.astype(np.float32).view(np.uint32)).all()
+
+    def test_unary_ops(self, device, rng):
+        a = rand_int32(rng, 16)
+        ta = pim.from_numpy(a)
+        assert ((-ta).to_numpy() == golden_rtype(ROp.NEG, isa_int32, a)).all()
+        assert (abs(ta).to_numpy() == golden_rtype(ROp.ABS, isa_int32, a)).all()
+        assert ((~ta).to_numpy() == ~a).all()
+        assert (ta.sign().to_numpy() == np.sign(a)).all()
+
+    def test_comparisons_return_int32(self, device, rng):
+        a = rand_float32(rng, 16)
+        b = rand_float32(rng, 16)
+        ta, tb = pim.from_numpy(a), pim.from_numpy(b)
+        lt = ta < tb
+        assert lt.dtype is pim.int32 or lt.dtype.name == "int32"
+        assert (lt.to_numpy() == (a < b).astype(np.int32)).all()
+        assert ((ta >= tb).to_numpy() == (a >= b).astype(np.int32)).all()
+        assert ((ta == tb).to_numpy() == (a == b).astype(np.int32)).all()
+
+
+class TestScalarBroadcast:
+    def test_scalar_rhs(self, device):
+        x = pim.from_numpy(np.arange(8, dtype=np.int32))
+        assert ((x + 5).to_numpy() == np.arange(8) + 5).all()
+        assert ((x * 3).to_numpy() == np.arange(8) * 3).all()
+
+    def test_scalar_lhs(self, device):
+        x = pim.from_numpy(np.arange(1, 9, dtype=np.int32))
+        assert ((10 - x).to_numpy() == 10 - np.arange(1, 9)).all()
+        assert ((2 * x).to_numpy() == 2 * np.arange(1, 9)).all()
+
+    def test_float_scalar(self, device):
+        x = pim.from_numpy(np.linspace(0, 1, 8).astype(np.float32))
+        want = (x.to_numpy() + np.float32(0.5)).astype(np.float32)
+        assert ((x + 0.5).to_numpy() == want).all()
+
+    def test_scalar_comparison(self, device):
+        x = pim.from_numpy(np.arange(8, dtype=np.int32))
+        assert ((x < 4).to_numpy() == (np.arange(8) < 4).astype(np.int32)).all()
+
+
+class TestAlignmentFallback:
+    def test_misaligned_tensors_are_copied(self, device):
+        """Tensors in different warp ranges still add correctly."""
+        rows = device.rows
+        a = pim.from_numpy(np.arange(rows, dtype=np.int32))  # warp 0
+        # Force b onto a different warp range by exhausting warp-0 registers.
+        blockers = [pim.zeros(rows, dtype=pim.int32) for _ in range(
+            device.config.user_registers - 1)]
+        b = pim.from_numpy(np.arange(rows, dtype=np.int32) * 2)
+        assert b.slot.warp_start != a.slot.warp_start
+        result = a + b
+        assert (result.to_numpy() == np.arange(rows) * 3).all()
+
+    def test_length_mismatch_rejected(self, device):
+        with pytest.raises(ValueError):
+            pim.zeros(4, dtype=pim.int32) + pim.zeros(5, dtype=pim.int32)
+
+    def test_dtype_mismatch_rejected(self, device):
+        with pytest.raises(TypeError):
+            pim.zeros(4, dtype=pim.int32) + pim.zeros(4, dtype=pim.float32)
+
+    def test_copy_preserves_contents(self, device, rng):
+        a = rand_int32(rng, 24)
+        ta = pim.from_numpy(a)
+        tb = ta.copy()
+        ta[0] = 42
+        assert tb.to_numpy()[0] == a[0]
+        assert (tb.to_numpy()[1:] == a[1:]).all()
+
+
+class TestMemoryBehaviour:
+    def test_slice_fill(self, device):
+        x = pim.zeros(16, dtype=pim.int32)
+        x[2:10:2] = 7
+        want = np.zeros(16, dtype=np.int32)
+        want[2:10:2] = 7
+        assert (x.to_numpy() == want).all()
+
+    def test_chained_expression(self, device):
+        x = pim.from_numpy(np.arange(8, dtype=np.int32))
+        y = pim.from_numpy(np.full(8, 3, dtype=np.int32))
+        result = (x * y + x) / y
+        want = golden_rtype(
+            ROp.DIV, isa_int32,
+            (np.arange(8) * 3 + np.arange(8)).astype(np.int32),
+            np.full(8, 3, dtype=np.int32),
+        )
+        assert (result.to_numpy() == want).all()

@@ -1,0 +1,57 @@
+"""Tests for the condensed strided memory image."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_config
+from repro.sim.memory import CrossbarMemory
+
+
+@pytest.fixture
+def memory():
+    return CrossbarMemory(small_config(crossbars=2, rows=8))
+
+
+class TestWords:
+    def test_initially_zero(self, memory):
+        assert memory.words.sum() == 0
+
+    def test_word_roundtrip(self, memory):
+        memory.set_word(1, 3, 5, 0xDEADBEEF)
+        assert memory.get_word(1, 3, 5) == 0xDEADBEEF
+
+    def test_word_out_of_range_value(self, memory):
+        with pytest.raises(ValueError):
+            memory.set_word(0, 0, 0, 1 << 33)
+
+    def test_fill(self, memory):
+        memory.fill(0x12345678)
+        assert memory.get_word(0, 0, 0) == 0x12345678
+        assert memory.get_word(1, 7, 31) == 0x12345678
+
+
+class TestBits:
+    def test_bit_addressing_matches_word_layout(self, memory):
+        """Bit i of word [x,t,r] is partition i, intra-partition index r."""
+        memory.set_word(0, 2, 3, 0b1010)
+        assert memory.get_bit(0, 2, partition=1, index=3) == 1
+        assert memory.get_bit(0, 2, partition=0, index=3) == 0
+        assert memory.get_bit(0, 2, partition=3, index=3) == 1
+
+    def test_set_bit(self, memory):
+        memory.set_bit(1, 0, partition=31, index=0, value=1)
+        assert memory.get_word(1, 0, 0) == 1 << 31
+        memory.set_bit(1, 0, partition=31, index=0, value=0)
+        assert memory.get_word(1, 0, 0) == 0
+
+
+class TestUnpack:
+    def test_unpack_strided_columns(self, memory):
+        """Column c = partition * (w/N_p) + index (Figure 6 layout)."""
+        cfg = memory.config
+        memory.set_bit(0, 4, partition=2, index=7, value=1)
+        bits = memory.unpack_bits(0)
+        assert bits.shape == (cfg.rows, cfg.columns)
+        column = 2 * cfg.partition_width + 7
+        assert bits[4, column]
+        assert bits.sum() == 1

@@ -1,0 +1,184 @@
+"""Semantics tests for the simulator's logic execution.
+
+These pin down the stateful-logic contract: outputs can only be pulled
+from 1 to 0 (so an uninitialized output corrupts the gate), masks gate
+execution, and partition patterns execute all their concurrent gates.
+"""
+
+import pytest
+
+from repro.arch.config import small_config
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    LogicVOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+)
+from repro.sim.simulator import SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(small_config(crossbars=2, rows=4))
+
+
+def select(sim, warp, row):
+    sim.execute(CrossbarMaskOp(warp, warp, 1))
+    sim.execute(RowMaskOp(row, row, 1))
+
+
+def init1(reg, p_out, p_end=None, p_step=1):
+    return LogicHOp(
+        GateType.INIT1, 0, 0, reg,
+        p_a=0, p_b=0, p_out=p_out,
+        p_end=p_end if p_end is not None else p_out, p_step=p_step,
+    )
+
+
+class TestStatefulSemantics:
+    def test_nor_truth_table(self, sim):
+        select(sim, 0, 0)
+        for a, b, expected in [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)]:
+            sim.execute(WriteOp(0, a))
+            sim.execute(WriteOp(1, b))
+            sim.execute(init1(2, 0))
+            sim.execute(
+                LogicHOp(GateType.NOR, 0, 1, 2, p_a=0, p_b=0, p_out=0, p_end=0)
+            )
+            assert sim.execute(ReadOp(2)) & 1 == expected
+
+    def test_output_must_be_initialized(self, sim):
+        """A NOR into a 0 output stays 0 even when the gate result is 1."""
+        select(sim, 0, 0)
+        sim.execute(WriteOp(0, 0))
+        sim.execute(WriteOp(1, 0))
+        sim.execute(WriteOp(2, 0))  # output cell is 0, not initialized
+        sim.execute(LogicHOp(GateType.NOR, 0, 1, 2, p_a=0, p_b=0, p_out=0, p_end=0))
+        assert sim.execute(ReadOp(2)) & 1 == 0  # would be 1 if initialized
+
+    def test_not_gate(self, sim):
+        select(sim, 0, 0)
+        sim.execute(WriteOp(0, 1))
+        sim.execute(init1(2, 0))
+        sim.execute(LogicHOp(GateType.NOT, 0, 0, 2, p_a=0, p_b=0, p_out=0, p_end=0))
+        assert sim.execute(ReadOp(2)) & 1 == 0
+
+    def test_init0(self, sim):
+        select(sim, 0, 0)
+        sim.execute(WriteOp(2, 0xFFFFFFFF))
+        sim.execute(
+            LogicHOp(GateType.INIT0, 0, 0, 2, p_a=0, p_b=0, p_out=0, p_end=31)
+        )
+        assert sim.execute(ReadOp(2)) == 0
+
+    def test_cross_partition_gate(self, sim):
+        """NOR reading partition 3 and 5, writing partition 7."""
+        select(sim, 0, 0)
+        sim.execute(WriteOp(0, 0))  # all partitions 0
+        sim.execute(init1(2, 7))
+        sim.execute(LogicHOp(GateType.NOR, 0, 0, 2, p_a=3, p_b=5, p_out=7, p_end=7))
+        assert sim.execute(ReadOp(2)) == 1 << 7
+
+    def test_parallel_not_column(self, sim):
+        select(sim, 0, 0)
+        sim.execute(WriteOp(0, 0x0F0F0F0F))
+        sim.execute(init1(1, 0, p_end=31))
+        sim.execute(
+            LogicHOp(GateType.NOT, 0, 0, 1, p_a=0, p_b=0, p_out=0, p_end=31)
+        )
+        assert sim.execute(ReadOp(1)) == 0xF0F0F0F0
+
+    def test_strided_shift_pattern(self, sim):
+        """NOT from partition k to k+1 at stride 2 (Figure 7(c) shape)."""
+        select(sim, 0, 0)
+        sim.execute(WriteOp(0, 0xFFFFFFFF))
+        sim.execute(init1(1, 0, p_end=31))
+        sim.execute(
+            LogicHOp(GateType.NOT, 0, 0, 1, p_a=0, p_b=0, p_out=1, p_end=31, p_step=2)
+        )
+        # Odd partitions got NOT(1) = 0; even partitions keep their init 1.
+        assert sim.execute(ReadOp(1)) == 0x55555555
+
+
+class TestMasks:
+    def test_row_mask_gates_execution(self, sim):
+        sim.execute(CrossbarMaskOp(0, 0, 1))
+        sim.execute(RowMaskOp(0, 3, 1))
+        sim.execute(WriteOp(0, 7))
+        sim.execute(RowMaskOp(1, 1, 1))
+        sim.execute(WriteOp(0, 9))
+        select(sim, 0, 0)
+        assert sim.execute(ReadOp(0)) == 7
+        select(sim, 0, 1)
+        assert sim.execute(ReadOp(0)) == 9
+
+    def test_crossbar_mask_gates_execution(self, sim):
+        sim.execute(CrossbarMaskOp(1, 1, 1))
+        sim.execute(RowMaskOp(0, 0, 1))
+        sim.execute(WriteOp(0, 5))
+        select(sim, 0, 0)
+        assert sim.execute(ReadOp(0)) == 0
+        select(sim, 1, 0)
+        assert sim.execute(ReadOp(0)) == 5
+
+    def test_strided_row_mask(self, sim):
+        sim.execute(CrossbarMaskOp(0, 0, 1))
+        sim.execute(RowMaskOp(0, 2, 2))
+        sim.execute(WriteOp(0, 3))
+        for row, expected in [(0, 3), (1, 0), (2, 3), (3, 0)]:
+            select(sim, 0, row)
+            assert sim.execute(ReadOp(0)) == expected
+
+    def test_read_requires_single_selection(self, sim):
+        sim.execute(CrossbarMaskOp(0, 1, 1))
+        sim.execute(RowMaskOp(0, 0, 1))
+        with pytest.raises(SimulationError):
+            sim.execute(ReadOp(0))
+
+    def test_mask_out_of_range(self, sim):
+        with pytest.raises(SimulationError):
+            sim.execute(RowMaskOp(0, 100, 1))
+
+
+class TestVerticalOps:
+    def test_vertical_not_transfers_complement(self, sim):
+        select(sim, 0, 0)
+        sim.execute(WriteOp(3, 0x0000FFFF))
+        sim.execute(CrossbarMaskOp(0, 0, 1))
+        sim.execute(LogicVOp(GateType.INIT1, 0, 2, 3))
+        sim.execute(LogicVOp(GateType.NOT, 0, 2, 3))
+        select(sim, 0, 2)
+        assert sim.execute(ReadOp(3)) == 0xFFFF0000
+
+    def test_vertical_init0(self, sim):
+        select(sim, 0, 1)
+        sim.execute(WriteOp(0, 123))
+        sim.execute(CrossbarMaskOp(0, 0, 1))
+        sim.execute(LogicVOp(GateType.INIT0, 0, 1, 0))
+        select(sim, 0, 1)
+        assert sim.execute(ReadOp(0)) == 0
+
+    def test_vertical_respects_crossbar_mask(self, sim):
+        select(sim, 1, 0)
+        sim.execute(WriteOp(0, 0xFFFFFFFF))
+        sim.execute(CrossbarMaskOp(0, 0, 1))  # only crossbar 0 active
+        sim.execute(LogicVOp(GateType.INIT0, 0, 0, 0))
+        select(sim, 1, 0)
+        assert sim.execute(ReadOp(0)) == 0xFFFFFFFF  # untouched
+
+
+class TestStats:
+    def test_ops_are_counted_by_kind(self, sim):
+        select(sim, 0, 0)
+        sim.execute(WriteOp(0, 1))
+        sim.execute(init1(1, 0))
+        sim.execute(LogicHOp(GateType.NOT, 0, 0, 1, p_a=0, p_b=0, p_out=0, p_end=0))
+        counts = sim.stats.op_counts
+        assert counts["write"] == 1
+        assert counts["logic_h_init1"] == 1
+        assert counts["logic_h_not"] == 1
+        assert counts["mask_crossbar"] == 1
+        assert sim.stats.cycles == sim.stats.micro_ops

@@ -5,6 +5,10 @@ Bulk-bitwise PIM architectures target database scan/aggregate queries
 and predicates/aggregations run as element-parallel instructions without
 moving rows to the CPU.
 
+See the README quickstart (``README.md``) for the tensor-API basics
+this example builds on, and ``docs/architecture.md`` for the underlying
+compile/replay pipeline.
+
 This example builds an orders table and answers::
 
     SELECT SUM(quantity * price)

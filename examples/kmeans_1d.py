@@ -9,6 +9,10 @@ Section V-A advertises.
 Run with::
 
     python examples/kmeans_1d.py
+
+See the README quickstart (``README.md``) for the tensor-API basics;
+the repeated per-iteration macro-instructions here replay from the
+driver's program cache (``docs/architecture.md``).
 """
 
 import numpy as np

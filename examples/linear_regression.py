@@ -9,6 +9,10 @@ Section V-A.
 Run with::
 
     python examples/linear_regression.py
+
+See the README quickstart (``README.md``) for the tensor-API basics;
+every gradient step re-issues the same macro-instructions, so all but
+the first iteration replay compiled programs (``docs/architecture.md``).
 """
 
 import numpy as np

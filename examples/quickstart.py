@@ -7,6 +7,10 @@ Run with::
 Demonstrates tensor allocation, scalar read/write, a user-defined PIM
 routine, tensor views, and logarithmic-time reduction — all executed as
 stateful-logic micro-operations on the bit-accurate simulator.
+
+New here? Start with the README quickstart (``README.md``) for setup
+and the layer-stack overview, and ``docs/architecture.md`` for how each
+tensor operation becomes a compiled micro-op program.
 """
 
 import repro.pim as pim

@@ -8,6 +8,10 @@ driving a realistic DSP-style workload.
 Run with::
 
     python examples/signal_processing.py
+
+See the README quickstart (``README.md``) for the tensor-API basics and
+``docs/architecture.md`` for the compile/replay pipeline behind the
+repeated CORDIC iterations.
 """
 
 import numpy as np

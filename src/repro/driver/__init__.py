@@ -12,14 +12,30 @@ re-implement the AritPIM suite from scratch:
 - :mod:`repro.driver.fixed` — fixed-point (two's-complement) routines;
 - :mod:`repro.driver.floating` — IEEE-754 binary32 routines;
 - :mod:`repro.driver.parallel` — bit-parallel (partition) fast paths;
+- :mod:`repro.driver.program` — the :class:`MicroProgram` IR and the LRU
+  :class:`ProgramCache` (compile once, replay many times);
+- :mod:`repro.driver.compiler` — stream validation plus the peephole
+  passes (mask coalescing, redundant-INIT1 elimination);
 - :mod:`repro.driver.driver` — the :class:`Driver` itself, with its
-  compiled-sequence cache;
+  compiled-program cache;
 - :mod:`repro.driver.throughput` — the driver-throughput measurement
   harness (micro-ops rerouted to a memory buffer, Section VI-B / artifact
   appendix).
 """
 
+from repro.driver.compiler import CompileError, compile_ops
 from repro.driver.driver import Driver, BufferSink
 from repro.driver.gates import GateBuilder, ScratchOverflow
+from repro.driver.program import MicroProgram, ProgramCache, config_fingerprint
 
-__all__ = ["Driver", "BufferSink", "GateBuilder", "ScratchOverflow"]
+__all__ = [
+    "Driver",
+    "BufferSink",
+    "GateBuilder",
+    "ScratchOverflow",
+    "MicroProgram",
+    "ProgramCache",
+    "CompileError",
+    "compile_ops",
+    "config_fingerprint",
+]

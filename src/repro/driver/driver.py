@@ -7,17 +7,26 @@ forwards the stream to the chip (the simulator, or any sink implementing
 ``execute``).
 
 Because lowering is deterministic in the register operands, the driver
-keeps a *compiled-sequence cache*: the micro-op body of an R-type
-instruction is generated once per (op, dtype, registers) and replayed on
+keeps a *program cache*: the micro-op body of an R-type instruction is
+compiled once per (op, dtype, operand layout, config fingerprint) into an
+immutable :class:`~repro.driver.program.MicroProgram` and replayed on
 later calls with fresh mask operations prepended. This is what makes the
 Python driver fast enough to outpace the PIM chip's consumption rate (the
 claim benchmarked in ``benchmarks/test_driver_throughput.py``).
+
+Replay takes the fastest route the chip supports: pre-encoded 64-bit word
+blocks for batch sinks (``execute_batch``), pre-validated program replay
+for the simulator (``execute_program``, skipping per-op dispatch and
+validation — see ``benchmarks/test_compile_cache.py``), or op-by-op
+``execute`` otherwise. Multi-instruction streams can additionally be
+recorded and peephole-optimized with :meth:`Driver.compile` /
+:meth:`Driver.run_program` (see :mod:`repro.driver.compiler`).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import PIMConfig
 from repro.arch.masks import RangeMask
@@ -34,7 +43,9 @@ from repro.arch.micro_ops import (
     encode,
 )
 from repro.driver import fixed, floating, parallel
+from repro.driver.compiler import compile_ops
 from repro.driver.gates import GateBuilder
+from repro.driver.program import MicroProgram, ProgramCache, config_fingerprint
 from repro.isa.instructions import (
     Instruction,
     MoveInstr,
@@ -116,13 +127,23 @@ class Driver:
         self.parallelism = parallelism
         self.guard = guard
         self.cache_enabled = cache_size > 0
-        self._cache: "OrderedDict[Tuple, Tuple[MicroOp, ...]]" = OrderedDict()
-        self._cache_size = max(cache_size, 1)
-        self._encoded_cache: Dict[Tuple, "object"] = {}
+        self.programs = ProgramCache(maxsize=cache_size)
+        # The config is fixed for the driver's lifetime; hoist the
+        # fingerprint out of the per-instruction cache-key path.
+        self._fingerprint = config_fingerprint(self.config)
         self._mask_cache: Dict[Tuple, "object"] = {}
         self.macro_count = 0
         self.micro_count = 0
-        self.cache_hits = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Program-cache hits — read-only view of ``programs.hits``.
+
+        Unlike ``macro_count``/``micro_count`` this cannot be reset by
+        assignment; reset or snapshot the :attr:`programs` counters
+        directly (``pim.Profiler`` takes the snapshot approach).
+        """
+        return self.programs.hits
 
     # ------------------------------------------------------------------
     # Public interface
@@ -136,8 +157,11 @@ class Driver:
         pre-encoded 64-bit word blocks — the DMA-style path a production
         host driver uses, and what the throughput benchmark measures.
         """
-        if isinstance(instr, RInstr) and hasattr(self.chip, "execute_batch"):
-            return self._execute_rtype_batched(instr)
+        if isinstance(instr, RInstr):
+            if hasattr(self.chip, "execute_batch"):
+                return self._execute_rtype_batched(instr)
+            if self.cache_enabled and hasattr(self.chip, "execute_program"):
+                return self._execute_rtype_program(instr)
         ops = self.lower(instr)
         response: Optional[int] = None
         for op in ops:
@@ -146,30 +170,64 @@ class Driver:
                 response = result
         return response
 
+    # ------------------------------------------------------------------
+    # Compiled-program paths
+    # ------------------------------------------------------------------
+    def _rtype_key(self, instr: RInstr) -> Tuple:
+        """The program-cache key: everything body lowering depends on."""
+        return (
+            instr.op,
+            instr.dtype.name,
+            instr.dest,
+            instr.sources(),
+            self.parallelism,
+            self._fingerprint,
+        )
+
+    def _rtype_program(self, instr: RInstr) -> MicroProgram:
+        """The compiled body program of an R-type instruction (cached).
+
+        The body excludes the two leading mask operations (which vary per
+        call); it is validated once at compile time and preserved verbatim
+        (``optimize=False``) so cycle counts match uncached lowering.
+        """
+        if self.cache_enabled:
+            key = self._rtype_key(instr)
+            program = self.programs.get(key)
+            if program is not None:
+                return program
+        builder, ops = GateBuilder.recording(self.config, guard=self.guard)
+        self._build_rtype(builder, instr)
+        # The builder's output is valid by construction; skip per-op
+        # validation so the uncached path pays no new per-call cost.
+        program = compile_ops(
+            ops,
+            self.config,
+            name=f"{instr.op.value}.{instr.dtype.name}",
+            optimize=False,
+            validate=False,
+        )
+        if self.cache_enabled:
+            self.programs.put(key, program)
+        return program
+
+    def _execute_rtype_program(self, instr: RInstr) -> None:
+        """Replay path: masks op-by-op, then the pre-validated body."""
+        validate(instr, self.config.registers)
+        self.macro_count += 1
+        program = self._rtype_program(instr)
+        mask_ops = self._mask_ops(instr.warp_mask, instr.row_mask)
+        for op in mask_ops:
+            self.chip.execute(op)
+        self.chip.execute_program(program)
+        self.micro_count += len(mask_ops) + len(program)
+
     def _execute_rtype_batched(self, instr: RInstr) -> None:
         import numpy as np
 
         validate(instr, self.config.registers)
         self.macro_count += 1
-        key = (
-            instr.op, instr.dtype.name, instr.dest, instr.sources(),
-            self.parallelism,
-        )
-        words = self._encoded_cache.get(key) if self.cache_enabled else None
-        if words is None:
-            ops: List[MicroOp] = []
-            builder = GateBuilder(self.config, ops.append, guard=self.guard)
-            self._build_rtype(builder, instr)
-            words = np.array(
-                [encode(op, self.config.word_size) for op in ops],
-                dtype=np.uint64,
-            )
-            if self.cache_enabled:
-                self._encoded_cache[key] = words
-                if len(self._encoded_cache) > self._cache_size:
-                    self._encoded_cache.pop(next(iter(self._encoded_cache)))
-        else:
-            self.cache_hits += 1
+        words = self._rtype_program(instr).encoded(self.config.word_size)
 
         mask_key = (instr.warp_mask, instr.row_mask)
         mask_words = self._mask_cache.get(mask_key)
@@ -191,18 +249,67 @@ class Driver:
         """Produce the full micro-operation sequence for an instruction."""
         validate(instr, self.config.registers)
         self.macro_count += 1
-        if isinstance(instr, RInstr):
-            ops = self._lower_rtype(instr)
-        elif isinstance(instr, MoveInstr):
-            ops = self._lower_move(instr)
-        elif isinstance(instr, ReadInstr):
-            ops = self._lower_read(instr)
-        elif isinstance(instr, WriteInstr):
-            ops = self._lower_write(instr)
-        else:
-            raise TypeError(f"not an instruction: {instr!r}")
+        ops = self._lower_ops(instr)
         self.micro_count += len(ops)
         return ops
+
+    def _lower_ops(self, instr: Instruction) -> List[MicroOp]:
+        """Lowering without validation or counter updates (shared core)."""
+        if isinstance(instr, RInstr):
+            return self._lower_rtype(instr)
+        if isinstance(instr, MoveInstr):
+            return self._lower_move(instr)
+        if isinstance(instr, ReadInstr):
+            return self._lower_read(instr)
+        if isinstance(instr, WriteInstr):
+            return self._lower_write(instr)
+        raise TypeError(f"not an instruction: {instr!r}")
+
+    def compile(
+        self,
+        instructions: List[Instruction],
+        name: str = "stream",
+        optimize: bool = True,
+    ) -> MicroProgram:
+        """Record a macro-instruction sequence into one compiled program.
+
+        Each instruction is lowered exactly as :meth:`execute` would, the
+        streams are concatenated, and the result is validated and (by
+        default) peephole-optimized: redundant mask changes between
+        consecutive instructions are coalesced and provably-redundant
+        ``INIT1`` cycles are eliminated (see :mod:`repro.driver.compiler`).
+        The optimized program produces a bit-identical memory state in
+        fewer cycles; replay it with :meth:`run_program`.
+        """
+        ops: List[MicroOp] = []
+        for instr in instructions:
+            validate(instr, self.config.registers)
+            ops.extend(self._lower_ops(instr))
+        program = compile_ops(ops, self.config, name=name, optimize=optimize)
+        return replace(program, macros=len(instructions))
+
+    def run_program(self, program: MicroProgram) -> Optional[int]:
+        """Replay a compiled program on the chip.
+
+        Uses the chip's ``execute_program`` fast path when available,
+        then the DMA-style ``execute_batch`` word-block path (e.g.
+        :class:`BufferSink`), falling back to op-by-op ``execute``.
+        Returns the last read response (``None`` if the program contains
+        no reads; batch sinks never respond).
+        """
+        self.macro_count += program.macros
+        self.micro_count += len(program)
+        if hasattr(self.chip, "execute_program"):
+            return self.chip.execute_program(program)
+        if hasattr(self.chip, "execute_batch"):
+            self.chip.execute_batch(program.encoded(self.config.word_size))
+            return None
+        response: Optional[int] = None
+        for op in program:
+            result = self.chip.execute(op)
+            if result is not None:
+                response = result
+        return response
 
     # ------------------------------------------------------------------
     # Masks
@@ -221,27 +328,8 @@ class Driver:
     # R-type
     # ------------------------------------------------------------------
     def _lower_rtype(self, instr: RInstr) -> List[MicroOp]:
-        key = (
-            instr.op,
-            instr.dtype.name,
-            instr.dest,
-            instr.sources(),
-            self.parallelism,
-        )
-        body = self._cache.get(key) if self.cache_enabled else None
-        if body is not None:
-            self.cache_hits += 1
-            self._cache.move_to_end(key)
-        else:
-            ops: List[MicroOp] = []
-            builder = GateBuilder(self.config, ops.append, guard=self.guard)
-            self._build_rtype(builder, instr)
-            body = tuple(ops)
-            if self.cache_enabled:
-                self._cache[key] = body
-                if len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-        return self._mask_ops(instr.warp_mask, instr.row_mask) + list(body)
+        body = self._rtype_program(instr)
+        return self._mask_ops(instr.warp_mask, instr.row_mask) + list(body.ops)
 
     def _build_rtype(self, gb: GateBuilder, instr: RInstr) -> None:
         op, dest = instr.op, instr.dest

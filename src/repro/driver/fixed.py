@@ -14,6 +14,12 @@ Semantics (matching the NumPy ground truth used by the tests):
   ``__truediv__`` test which casts ``np.true_divide`` back to int32;
 - modulo takes the sign of the dividend (C semantics, ``a - trunc(a/b)*b``);
 - division/modulo by zero are documented as undefined (tests avoid them).
+
+The gate sequences these routines emit are deterministic in the operands,
+so the :class:`~repro.driver.driver.Driver` records them once into an
+immutable :class:`~repro.driver.program.MicroProgram` and replays the
+compiled stream on every repeated macro-instruction (see
+``docs/architecture.md``, compile/replay pipeline).
 """
 
 from __future__ import annotations

@@ -13,6 +13,12 @@ operand, bits shifted below the grid are folded into a sticky flag (which
 also supplies the extra borrow in effective subtraction), so the rounding
 decision is exact — see the module tests, which sweep the classic corner
 cases (massive cancellation, carry-out rounding, ties-to-even).
+
+Float lowering is by far the most expensive to generate (thousands of
+micro-ops per macro-instruction), which is exactly why the driver caches
+the recorded stream as a :class:`~repro.driver.program.MicroProgram` and
+replays it on repeats (see ``docs/architecture.md``, compile/replay
+pipeline, and ``benchmarks/test_compile_cache.py``).
 """
 
 from __future__ import annotations

@@ -89,6 +89,24 @@ class GateBuilder:
         self._const_cells: dict = {}
         self._protected: set = set()
 
+    @classmethod
+    def recording(
+        cls,
+        config: PIMConfig,
+        scratch_registers: Optional[List[int]] = None,
+        guard: bool = False,
+    ) -> "Tuple[GateBuilder, List[MicroOp]]":
+        """A builder that records into a fresh op list: ``(builder, ops)``.
+
+        The recorded list is what :func:`repro.driver.compiler.compile_ops`
+        turns into a replayable :class:`~repro.driver.program.MicroProgram`.
+        """
+        ops: List[MicroOp] = []
+        builder = cls(
+            config, ops.append, scratch_registers=scratch_registers, guard=guard
+        )
+        return builder, ops
+
     # ------------------------------------------------------------------
     # Scratch management
     # ------------------------------------------------------------------

@@ -1,0 +1,168 @@
+"""Compiled micro-operation streams: the :class:`MicroProgram` IR.
+
+The driver's job is to translate macro-instructions into micro-operation
+streams fast enough to keep the chip busy (Section V-B).  Because lowering
+is deterministic in the operands, the stream for a repeated
+macro-instruction never changes — so the natural unit of reuse is a
+*program*: an immutable, pre-validated sequence of micro-operations that
+can be replayed many times at near-zero host cost ("compile once, replay
+many times").
+
+Three pieces live here:
+
+- :class:`MicroProgram` — the immutable IR: a tuple of micro-ops plus
+  metadata (a name for profiling, the fingerprint of the architecture it
+  was validated against, and a lazily-built 64-bit encoding for DMA-style
+  transfer to a :class:`~repro.driver.driver.BufferSink`).
+- :func:`config_fingerprint` — the hashable identity of every
+  :class:`~repro.arch.config.PIMConfig` parameter that affects micro-op
+  validity.  Cache keys embed it, and the simulator's
+  ``execute_program`` fast path refuses programs compiled for a different
+  geometry, so a configuration change can never replay a stale stream.
+- :class:`ProgramCache` — a small LRU mapping cache keys to compiled
+  programs, with hit/miss counters surfaced by ``pim.Profiler``.
+
+Programs are *built* by :mod:`repro.driver.compiler` (validation and the
+peephole passes) and *consumed* either op-by-op, as pre-encoded word
+blocks (``BufferSink.execute_batch``), or via the simulator's
+:meth:`~repro.sim.simulator.Simulator.execute_program` replay fast path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.micro_ops import MicroOp, ReadOp, encode
+
+#: The cache-key type: any hashable tuple assembled by the caller.
+ProgramKey = Hashable
+
+
+def config_fingerprint(config: PIMConfig) -> Tuple[int, int, int, int, int]:
+    """The geometry identity a compiled program depends on.
+
+    Two configs with equal fingerprints validate exactly the same micro-op
+    streams (register/row/crossbar ranges, partition patterns, and word
+    size all match).  ``frequency_hz`` and ``scratch_registers`` are
+    deliberately excluded: they change throughput numbers and lowering
+    choices, but never the validity of an already-generated stream.
+    """
+    return (
+        config.crossbars,
+        config.rows,
+        config.columns,
+        config.partitions,
+        config.word_size,
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class MicroProgram:
+    """An immutable, validated micro-operation stream.
+
+    Instances are identity-hashed (``eq=False``): the simulator keys its
+    per-program replay plans on the object itself, so equality by content
+    would make every lookup O(len(ops)).
+
+    Attributes:
+        ops: the micro-operations, in execution order.
+        name: a human-readable label (e.g. ``"add.int32"``) for profiling.
+        config_fingerprint: the :func:`config_fingerprint` of the config
+            the program was validated against.
+        reads: number of :class:`ReadOp`s in the stream (replay returns
+            the last read's response word).
+        macros: number of macro-instructions the stream was recorded
+            from (0 when built from raw ops); lets the driver keep its
+            macro/micro counters consistent across fused replays.
+    """
+
+    ops: Tuple[MicroOp, ...]
+    name: str
+    config_fingerprint: Tuple[int, int, int, int, int]
+    reads: int = field(default=0)
+    macros: int = field(default=0)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self.ops)
+
+    def encoded(self, word_size: int) -> "np.ndarray":
+        """The stream as a ``np.uint64`` array of 64-bit operation words.
+
+        Built on first use and memoized on the instance per ``word_size``
+        (the program is immutable, so the encoding never changes).
+        """
+        cached = self.__dict__.get("_encoded")
+        if cached is None or cached[0] != word_size:
+            words = np.array(
+                [encode(op, word_size) for op in self.ops], dtype=np.uint64
+            )
+            # Frozen dataclass: memoize through __dict__ (not __setattr__).
+            self.__dict__["_encoded"] = (word_size, words)
+            return words
+        return cached[1]
+
+    @classmethod
+    def from_ops(
+        cls, ops, name: str, config: PIMConfig
+    ) -> "MicroProgram":
+        """Wrap an op sequence without optimization (validation is the
+        compiler's job; prefer :func:`repro.driver.compiler.compile_ops`)."""
+        ops = tuple(ops)
+        reads = sum(1 for op in ops if isinstance(op, ReadOp))
+        return cls(ops, name, config_fingerprint(config), reads)
+
+
+class ProgramCache:
+    """An LRU cache of compiled :class:`MicroProgram`s with counters.
+
+    The driver keys entries on ``(instruction kind, dtype, operand
+    layout, parallelism, config fingerprint)`` — everything lowering
+    depends on — so a hit is always safe to replay verbatim.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = max(int(maxsize), 0)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[ProgramKey, MicroProgram]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ProgramKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: ProgramKey) -> Optional[MicroProgram]:
+        """Look up a program, counting the hit/miss and refreshing LRU order."""
+        program = self._entries.get(key)
+        if program is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return program
+
+    def put(self, key: ProgramKey, program: MicroProgram) -> None:
+        """Insert a program, evicting the least-recently-used beyond maxsize."""
+        if not self.enabled:
+            return
+        self._entries[key] = program
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()

@@ -41,6 +41,19 @@ class PIMDevice:
         """Run one macro-instruction through the driver."""
         return self.driver.execute(instr)
 
+    def compile(self, instructions, name: str = "stream", optimize: bool = True):
+        """Record macro-instructions into one replayable compiled program.
+
+        See :meth:`repro.driver.driver.Driver.compile`: the stream is
+        validated once and peephole-optimized (bit-identical memory state
+        in fewer cycles); replay it with :meth:`run_program`.
+        """
+        return self.driver.compile(instructions, name=name, optimize=optimize)
+
+    def run_program(self, program):
+        """Replay a compiled program on this chip's simulator."""
+        return self.driver.run_program(program)
+
     def stats_snapshot(self) -> SimStats:
         """Copy of the simulator's counters (for profiling diffs)."""
         return self.simulator.stats.copy()

@@ -28,6 +28,12 @@ class Profiler:
         self.echo = echo
         self.stats: Optional[SimStats] = None
         self._before: Optional[SimStats] = None
+        self._cache_before: Optional[tuple] = None
+        #: Program-cache hits/misses of the host driver inside the block
+        #: (how often macro-instructions replayed a compiled stream versus
+        #: paying full lowering; see ``repro.driver.program``).
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
 
     @property
     def device(self) -> PIMDevice:
@@ -35,12 +41,21 @@ class Profiler:
 
     def __enter__(self) -> "Profiler":
         self._before = self.device.stats_snapshot()
+        programs = self.device.driver.programs
+        self._cache_before = (programs.hits, programs.misses)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stats = self.device.simulator.stats.diff(self._before)
+        programs = self.device.driver.programs
+        self.cache_hits = programs.hits - self._cache_before[0]
+        self.cache_misses = programs.misses - self._cache_before[1]
         if self.echo and exc_type is None:
             print(self.stats.summary())
+            print(
+                f"  program cache  {self.cache_hits} hits / "
+                f"{self.cache_misses} misses"
+            )
 
     @property
     def cycles(self) -> int:

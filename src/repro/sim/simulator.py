@@ -11,8 +11,9 @@ cycles are counted).
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Iterable, Optional
+import weakref
+from functools import lru_cache, partial
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -88,6 +89,9 @@ class Simulator:
         self.move_cost = move_cost
         self._xb_mask = RangeMask.all(config.crossbars)
         self._row_mask = RangeMask.all(config.rows)
+        # Replay plans for compiled programs, built once per program and
+        # dropped automatically when the program is garbage-collected.
+        self._plans: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     # Interface
@@ -114,6 +118,156 @@ class Simulator:
         """Execute a batch of micro-operations (no read responses)."""
         for op in ops:
             self.execute(op)
+
+    def execute_program(self, program) -> Optional[int]:
+        """Replay a compiled :class:`~repro.driver.program.MicroProgram`.
+
+        The fast path of the compile/replay pipeline: the program was
+        validated once at compile time, so replay skips the per-op
+        ``isinstance`` dispatch and range checks of :meth:`execute`.  On
+        first sight of a program this builds a *replay plan* — a list of
+        zero-argument callables with all per-op constants (gate-pattern
+        masks, shift amounts, mask objects) pre-resolved — and memoizes it
+        on the program object.  Profiling counters are recorded exactly as
+        in op-by-op execution, so cycle accounting is unchanged.
+
+        Returns the response word of the last :class:`ReadOp` in the
+        program (``None`` if it contains no reads).
+        """
+        plan = self._plans.get(program)
+        if plan is None:
+            plan = self._compile_plan(program)
+            self._plans[program] = plan
+        steps, region_cache = plan
+        # Views cached during an earlier replay may belong to different
+        # masks set in between; start every replay from a clean slate.
+        region_cache.clear()
+        if program.reads == 0:
+            for step in steps:
+                step()
+            return None
+        response: Optional[int] = None
+        for step in steps:
+            result = step()
+            if result is not None:
+                response = result
+        return response
+
+    # ------------------------------------------------------------------
+    # Replay-plan construction
+    # ------------------------------------------------------------------
+    def _compile_plan(self, program):
+        from repro.driver.program import config_fingerprint
+
+        if program.config_fingerprint != config_fingerprint(self.config):
+            raise SimulationError(
+                f"program {program.name!r} was compiled for fingerprint "
+                f"{program.config_fingerprint}, this chip is "
+                f"{config_fingerprint(self.config)}"
+            )
+        # Register-region views are identical between mask changes; the
+        # plan's steps share this memo (cleared on every mask step and at
+        # replay start) so a long gate body builds each view only once.
+        region_cache: dict = {}
+        steps = [self._plan_step(op, region_cache) for op in program.ops]
+        return steps, region_cache
+
+    def _plan_step(
+        self, op: MicroOp, region_cache: dict
+    ) -> Callable[[], Optional[int]]:
+        """One-time dispatch of an op into a pre-resolved replay thunk."""
+        if isinstance(op, LogicHOp):
+            return self._plan_logic_h(op, region_cache)
+        if isinstance(op, CrossbarMaskOp):
+            if op.stop >= self.config.crossbars:
+                raise SimulationError("crossbar mask out of range")
+            mask = RangeMask(op.start, op.stop, op.step)
+
+            def set_xb_mask(self=self, mask=mask):
+                self._xb_mask = mask
+                region_cache.clear()
+                self.stats.record("mask_crossbar")
+
+            return set_xb_mask
+        if isinstance(op, RowMaskOp):
+            if op.stop >= self.config.rows:
+                raise SimulationError("row mask out of range")
+            mask = RangeMask(op.start, op.stop, op.step)
+
+            def set_row_mask(self=self, mask=mask):
+                self._row_mask = mask
+                region_cache.clear()
+                self.stats.record("mask_row")
+
+            return set_row_mask
+        # Reads and moves keep their mask-state-dependent runtime checks;
+        # writes and vertical logic are cheap enough to reuse directly.
+        if isinstance(op, (ReadOp, WriteOp, LogicVOp, MoveOp)):
+            handler = {
+                ReadOp: self._exec_read,
+                WriteOp: self._exec_write,
+                LogicVOp: self._exec_logic_v,
+                MoveOp: self._exec_move,
+            }[type(op)]
+            return partial(handler, op)
+        raise SimulationError(f"unknown micro-operation {op!r}")
+
+    def _plan_logic_h(self, op: LogicHOp, region_cache: dict) -> Callable[[], None]:
+        """Pre-resolve a horizontal logic op: pattern mask, shifts, key."""
+        cfg = self.config
+        for index in (op.in_a, op.in_b, op.out):
+            self._check_index(index)
+        out_mask_int, gate_count = _pattern_mask(
+            op.gate, op.p_a, op.p_b, op.p_out, op.p_end, op.p_step,
+            cfg.partitions,
+        )
+        dtype = self.memory.dtype
+        out_mask = dtype.type(out_mask_int)
+        inv_mask = dtype.type(out_mask_int ^ int(self.memory.word_mask))
+        key = _GATE_KEYS_H[op.gate]
+        out = op.out
+
+        # self.stats is resolved per call (not bound at plan time) so a
+        # reassignment of the public ``stats`` attribute keeps counting.
+        def region(reg):
+            view = region_cache.get(reg)
+            if view is None:
+                view = self._reg_region(reg)
+                region_cache[reg] = view
+            return view
+
+        if op.gate == GateType.INIT1:
+            def step():
+                region(out).__ior__(out_mask)
+                self.stats.record(key, gates=gate_count * self._active_rows())
+            return step
+        if op.gate == GateType.INIT0:
+            def step():
+                region(out).__iand__(inv_mask)
+                self.stats.record(key, gates=gate_count * self._active_rows())
+            return step
+        if op.gate == GateType.NOT:
+            in_a, shift_a = op.in_a, op.p_out - op.p_a
+
+            def step():
+                pull = self._shift(region(in_a), shift_a)
+                region(out).__iand__(~(pull & out_mask))
+                self.stats.record(key, gates=gate_count * self._active_rows())
+            return step
+        # NOR
+        in_a, shift_a = op.in_a, op.p_out - op.p_a
+        in_b, shift_b = op.in_b, op.p_out - op.p_b
+
+        def step():
+            a = self._shift(region(in_a), shift_a)
+            b = self._shift(region(in_b), shift_b)
+            region(out).__iand__(~((a | b) & out_mask))
+            self.stats.record(key, gates=gate_count * self._active_rows())
+        return step
+
+    def _active_rows(self) -> int:
+        """Rows currently selected by the crossbar and row masks."""
+        return len(self._xb_mask) * len(self._row_mask)
 
     @property
     def crossbar_mask(self) -> RangeMask:

@@ -1,0 +1,328 @@
+"""Tests for the compiled-program subsystem (program IR, compiler, replay).
+
+Covers the correctness obligations of the compile/replay pipeline:
+
+- the LRU :class:`ProgramCache` and its hit/miss accounting;
+- cache invalidation across configuration changes (fingerprint keys and
+  the simulator's replay-time fingerprint check);
+- compiled-vs-uncompiled result equivalence across all dtypes, bit for
+  bit, including identical cycle accounting on the implicit cache path;
+- the peephole passes (mask coalescing, redundant-INIT1 elimination)
+  preserving simulator state bit-for-bit while shrinking the stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_config
+from repro.arch.masks import RangeMask
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+    decode,
+)
+from repro.driver.compiler import (
+    CompileError,
+    coalesce_masks,
+    compile_ops,
+    eliminate_redundant_init1,
+)
+from repro.driver.driver import Driver
+from repro.driver.program import MicroProgram, ProgramCache, config_fingerprint
+from repro.isa.dtypes import float32, int32
+from repro.isa.instructions import MoveInstr, ReadInstr, RInstr, ROp, WriteInstr
+from repro.sim.simulator import SimulationError, Simulator
+
+from tests.conftest import rand_float32, rand_int32
+
+
+CFG = small_config(crossbars=4, rows=8)
+
+
+def fresh_pair(config=CFG, **kwargs):
+    sim = Simulator(config)
+    return sim, Driver(sim, **kwargs)
+
+
+def load(driver, reg, raw_words):
+    for index, word in enumerate(raw_words):
+        warp, thread = divmod(index, driver.config.rows)
+        driver.execute(
+            WriteInstr(reg, int(word), RangeMask.single(warp),
+                       RangeMask.single(thread))
+        )
+
+
+class TestProgramCache:
+    def test_hit_miss_counters(self):
+        cache = ProgramCache(maxsize=4)
+        program = MicroProgram.from_ops([ReadOp(0)], "p", CFG)
+        assert cache.get("k") is None
+        cache.put("k", program)
+        assert cache.get("k") is program
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        cache = ProgramCache(maxsize=2)
+        programs = {
+            name: MicroProgram.from_ops([ReadOp(0)], name, CFG)
+            for name in "abc"
+        }
+        cache.put("a", programs["a"])
+        cache.put("b", programs["b"])
+        assert cache.get("a") is programs["a"]  # refreshes "a"
+        cache.put("c", programs["c"])  # evicts "b" (least recent)
+        assert "b" not in cache
+        assert cache.get("a") is programs["a"]
+        assert cache.get("c") is programs["c"]
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = ProgramCache(maxsize=0)
+        cache.put("k", MicroProgram.from_ops([], "p", CFG))
+        assert len(cache) == 0 and not cache.enabled
+
+    def test_fingerprints_distinguish_configs(self):
+        small = small_config(crossbars=4, rows=8)
+        large = small_config(crossbars=4, rows=16)
+        assert config_fingerprint(small) != config_fingerprint(large)
+        cache = ProgramCache()
+        cache.put(("add", config_fingerprint(small)),
+                  MicroProgram.from_ops([], "p", small))
+        assert cache.get(("add", config_fingerprint(large))) is None
+
+
+class TestCompileValidation:
+    def test_rejects_out_of_range_register(self):
+        with pytest.raises(CompileError, match="out of range"):
+            compile_ops([ReadOp(CFG.registers)], CFG)
+
+    def test_rejects_out_of_range_mask(self):
+        with pytest.raises(CompileError, match="crossbar mask"):
+            compile_ops([CrossbarMaskOp(0, CFG.crossbars, 1)], CFG)
+
+    def test_rejects_oversized_write(self):
+        with pytest.raises(CompileError, match="word size"):
+            compile_ops([WriteOp(0, 1 << CFG.word_size)], CFG)
+
+    def test_counts_reads(self):
+        program = compile_ops(
+            [CrossbarMaskOp(0, 0, 1), RowMaskOp(0, 0, 1), ReadOp(1), ReadOp(2)],
+            CFG,
+        )
+        assert program.reads == 2
+
+    def test_encoded_words_roundtrip(self):
+        ops = [CrossbarMaskOp(1, 3, 2), RowMaskOp(0, 7, 1), WriteOp(2, 0xABCD)]
+        program = compile_ops(ops, CFG, optimize=False)
+        decoded = [decode(int(w), CFG.word_size) for w in
+                   program.encoded(CFG.word_size)]
+        assert decoded == ops
+
+
+class TestPeepholeMasks:
+    def test_identical_masks_coalesced(self):
+        ops = [
+            CrossbarMaskOp(0, 3, 1), RowMaskOp(0, 7, 1), WriteOp(0, 1),
+            CrossbarMaskOp(0, 3, 1), RowMaskOp(0, 7, 1), WriteOp(1, 2),
+        ]
+        out = coalesce_masks(ops)
+        assert out == [
+            CrossbarMaskOp(0, 3, 1), RowMaskOp(0, 7, 1),
+            WriteOp(0, 1), WriteOp(1, 2),
+        ]
+
+    def test_superseded_mask_dropped(self):
+        ops = [RowMaskOp(0, 0, 1), RowMaskOp(1, 1, 1), WriteOp(0, 1)]
+        assert coalesce_masks(ops) == [RowMaskOp(1, 1, 1), WriteOp(0, 1)]
+
+    def test_first_mask_always_kept(self):
+        # The mask state at replay time is unknown, so the leading mask of
+        # each kind must survive even if it looks "redundant" in isolation.
+        ops = [CrossbarMaskOp(0, 3, 1), WriteOp(0, 1)]
+        assert coalesce_masks(ops) == ops
+
+    def test_trailing_masks_kept(self):
+        # Mask state persists beyond the program; trailing sets are visible.
+        ops = [WriteOp(0, 1), RowMaskOp(2, 2, 1)]
+        assert coalesce_masks(ops) == ops
+
+
+class TestPeepholeInit1:
+    def init1(self, reg, lo, hi):
+        return LogicHOp(GateType.INIT1, in_a=0, in_b=0, out=reg,
+                        p_a=0, p_b=0, p_out=lo, p_end=hi, p_step=1)
+
+    def test_repeated_init1_eliminated(self):
+        ops = [self.init1(6, 0, 31), self.init1(6, 0, 31)]
+        assert eliminate_redundant_init1(ops) == [self.init1(6, 0, 31)]
+
+    def test_subset_init1_eliminated(self):
+        ops = [self.init1(6, 0, 31), self.init1(6, 3, 5)]
+        assert eliminate_redundant_init1(ops) == [self.init1(6, 0, 31)]
+
+    def test_pulldown_blocks_elimination(self):
+        pull = LogicHOp(GateType.NOT, in_a=0, in_b=0, out=6,
+                        p_a=0, p_b=0, p_out=4, p_end=4, p_step=1)
+        ops = [self.init1(6, 0, 31), pull, self.init1(6, 4, 4)]
+        assert eliminate_redundant_init1(ops) == ops
+
+    def test_mask_change_resets_tracking(self):
+        ops = [self.init1(6, 0, 31), RowMaskOp(0, 3, 1), self.init1(6, 0, 31)]
+        assert eliminate_redundant_init1(ops) == ops
+
+    def test_write_resets_tracking(self):
+        ops = [self.init1(6, 0, 31), WriteOp(6, 0), self.init1(6, 0, 31)]
+        assert eliminate_redundant_init1(ops) == ops
+
+
+class TestReplayEquivalence:
+    """Compiled replay must be bit-identical to op-by-op execution."""
+
+    CASES = [
+        (ROp.ADD, int32), (ROp.MUL, int32), (ROp.DIV, int32),
+        (ROp.LT, int32), (ROp.BIT_XOR, int32), (ROp.ABS, int32),
+        (ROp.ADD, float32), (ROp.MUL, float32), (ROp.DIV, float32),
+        (ROp.LE, float32), (ROp.NEG, float32),
+    ]
+
+    @pytest.mark.parametrize(
+        "op,dtype", CASES, ids=[f"{o.value}.{d.name}" for o, d in CASES]
+    )
+    def test_cached_replay_matches_uncached(self, op, dtype, rng):
+        size = CFG.crossbars * CFG.rows
+        if dtype is int32:
+            a = rand_int32(rng, size)
+            b = rand_int32(rng, size)
+            b[b == 0] = 1  # keep division defined
+        else:
+            a, b = rand_float32(rng, size), rand_float32(rng, size)
+        sim_plain, drv_plain = fresh_pair(cache_size=0)
+        sim_cached, drv_cached = fresh_pair()
+        assert hasattr(sim_cached, "execute_program")
+        for driver in (drv_plain, drv_cached):
+            load(driver, 0, a.view(np.uint32))
+            load(driver, 1, b.view(np.uint32))
+            instr = RInstr(op, dtype, dest=2, src_a=0,
+                           src_b=1 if instr_arity(op) >= 2 else None)
+            driver.execute(instr)
+            driver.execute(instr)  # second run exercises cache replay
+        assert drv_cached.cache_hits >= 1 and drv_plain.cache_hits == 0
+        assert np.array_equal(sim_plain.memory.words, sim_cached.memory.words)
+        assert sim_plain.stats.cycles == sim_cached.stats.cycles
+        assert sim_plain.stats.op_counts == sim_cached.stats.op_counts
+
+    def test_replay_counts_into_reassigned_stats(self):
+        # Plans must resolve sim.stats at call time: resetting the public
+        # attribute between replays must not orphan the counters.
+        from repro.sim.stats import SimStats
+
+        sim, driver = fresh_pair()
+        program = driver.compile(
+            [RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1)],
+            optimize=False,
+        )
+        driver.run_program(program)  # builds and memoizes the plan
+        first_cycles = sim.stats.cycles
+        sim.stats = SimStats()
+        driver.run_program(program)
+        assert sim.stats.cycles == first_cycles
+
+    def test_read_through_replay_path(self):
+        sim, driver = fresh_pair()
+        program = driver.compile(
+            [
+                WriteInstr(0, 41, RangeMask.all(4), RangeMask.all(8)),
+                WriteInstr(1, 1, RangeMask.all(4), RangeMask.all(8)),
+                RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1),
+                ReadInstr(2, 5, 2),
+            ],
+            optimize=True,
+        )
+        assert driver.run_program(program) == 42
+        assert driver.run_program(program) == 42  # plan is memoized
+
+
+def instr_arity(op):
+    from repro.isa.instructions import ARITY
+
+    return ARITY[op]
+
+
+class TestConfigInvalidation:
+    def test_driver_keys_include_fingerprint(self):
+        _, drv_a = fresh_pair(small_config(crossbars=4, rows=8))
+        _, drv_b = fresh_pair(small_config(crossbars=4, rows=16))
+        instr = RInstr(ROp.ADD, int32, dest=0, src_a=1, src_b=2)
+        assert drv_a._rtype_key(instr) != drv_b._rtype_key(instr)
+
+    def test_simulator_rejects_foreign_program(self):
+        cfg_a = small_config(crossbars=4, rows=8)
+        cfg_b = small_config(crossbars=4, rows=16)
+        _, drv_a = fresh_pair(cfg_a)
+        program = drv_a.compile(
+            [RInstr(ROp.ADD, int32, dest=0, src_a=1, src_b=2)]
+        )
+        with pytest.raises(SimulationError, match="fingerprint"):
+            Simulator(cfg_b).execute_program(program)
+
+
+class TestOptimizedStreams:
+    """Peephole-optimized programs: same final state, fewer cycles."""
+
+    def stream(self):
+        full_w, full_r = RangeMask.all(4), RangeMask.all(8)
+        return [
+            WriteInstr(0, 17, full_w, full_r),
+            WriteInstr(1, 5, full_w, full_r),
+            RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1),
+            RInstr(ROp.MUL, int32, dest=3, src_a=2, src_b=1),
+            MoveInstr(src_reg=3, dst_reg=4, src_thread=0, dst_thread=7,
+                      warp_mask=RangeMask.single(1)),
+            RInstr(ROp.SUB, int32, dest=5, src_a=3, src_b=0),
+        ]
+
+    def test_state_bit_identical_and_cycles_saved(self):
+        sim_ref, drv_ref = fresh_pair(cache_size=0)
+        for instr in self.stream():
+            drv_ref.execute(instr)
+
+        sim_opt, drv_opt = fresh_pair()
+        program = drv_opt.compile(self.stream(), optimize=True)
+        raw_len = sum(len(drv_ref.lower(i)) for i in self.stream())
+        drv_opt.run_program(program)
+
+        assert np.array_equal(sim_ref.memory.words, sim_opt.memory.words)
+        assert len(program) < raw_len  # masks coalesced across instructions
+        assert sim_opt.stats.cycles < sim_ref.stats.cycles
+
+    def test_unoptimized_compile_preserves_stream(self):
+        _, driver = fresh_pair(cache_size=0)
+        stream = self.stream()
+        program = driver.compile(stream, optimize=False)
+        flat = [op for instr in stream for op in driver._lower_ops(instr)]
+        assert list(program.ops) == flat
+
+    def test_float_stream_optimized_replay(self, rng):
+        size = CFG.crossbars * CFG.rows
+        a = rand_float32(rng, size)
+        b = rand_float32(rng, size)
+        instrs = [
+            RInstr(ROp.MUL, float32, dest=2, src_a=0, src_b=1),
+            RInstr(ROp.ADD, float32, dest=3, src_a=2, src_b=0),
+            RInstr(ROp.DIV, float32, dest=4, src_a=3, src_b=1),
+        ]
+        sim_ref, drv_ref = fresh_pair(cache_size=0)
+        load(drv_ref, 0, a.view(np.uint32))
+        load(drv_ref, 1, b.view(np.uint32))
+        for instr in instrs:
+            drv_ref.execute(instr)
+
+        sim_opt, drv_opt = fresh_pair()
+        load(drv_opt, 0, a.view(np.uint32))
+        load(drv_opt, 1, b.view(np.uint32))
+        drv_opt.run_program(drv_opt.compile(instrs, optimize=True))
+        assert np.array_equal(sim_ref.memory.words, sim_opt.memory.words)

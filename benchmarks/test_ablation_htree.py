@@ -15,7 +15,6 @@ import pytest
 import repro.pim as pim
 from repro.arch.config import PIMConfig
 from repro.pim.device import PIMDevice
-from repro.sim.simulator import Simulator
 
 from benchmarks.conftest import RESULTS_DIR
 
@@ -24,9 +23,7 @@ _LINES = []
 
 def _reduce_cycles(crossbars: int, move_cost: str) -> int:
     config = PIMConfig(crossbars=crossbars, rows=64)
-    device = PIMDevice(config)
-    device.simulator = Simulator(config, move_cost=move_cost)
-    device.driver.chip = device.simulator
+    device = PIMDevice(config, move_cost=move_cost)
     n = config.total_rows
     data = np.arange(n, dtype=np.int32)
     tensor = pim.Tensor(device, n, pim.int32)

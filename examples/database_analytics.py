@@ -22,17 +22,22 @@ Run with::
     python examples/database_analytics.py
 """
 
+import os
+
 import numpy as np
 
 import repro.pim as pim
 
 EU, US, APAC = 0, 1, 2
 
+#: CI knob: shrink the simulated memory so every example finishes fast.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 
 def main() -> None:
-    pim.init(crossbars=16, rows=256)
+    pim.init(crossbars=4 if FAST else 16, rows=64 if FAST else 256)
     rng = np.random.default_rng(7)
-    n = 2048
+    n = 256 if FAST else 2048
 
     # The columnar table, loaded into three PIM registers.
     quantity_h = rng.integers(1, 100, n).astype(np.int32)

@@ -15,17 +15,22 @@ the repeated per-iteration macro-instructions here replay from the
 driver's program cache (``docs/architecture.md``).
 """
 
+import os
+
 import numpy as np
 
 import repro.pim as pim
 
 ITERATIONS = 8
 
+#: CI knob: shrink the simulated memory so every example finishes fast.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 
 def main() -> None:
-    pim.init(crossbars=16, rows=256)
+    pim.init(crossbars=4 if FAST else 16, rows=64 if FAST else 256)
     rng = np.random.default_rng(11)
-    n = 1024
+    n = 256 if FAST else 1024
 
     # Two well-separated clusters.
     data_h = np.concatenate(

@@ -15,19 +15,24 @@ every gradient step re-issues the same macro-instructions, so all but
 the first iteration replay compiled programs (``docs/architecture.md``).
 """
 
+import os
+
 import numpy as np
 
 import repro.pim as pim
 from repro.pim.linalg import Matrix, dot
 
-STEPS = 60
-LEARNING_RATE = 0.15
+#: CI knob: shrink the workload so every example finishes fast.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
+STEPS = 40 if FAST else 60
+LEARNING_RATE = 0.3 if FAST else 0.15
 
 
 def main() -> None:
-    pim.init(crossbars=16, rows=256)
+    pim.init(crossbars=4 if FAST else 16, rows=64 if FAST else 256)
     rng = np.random.default_rng(3)
-    n = 512
+    n = 128 if FAST else 512
 
     # y = 1.7 x + 0.6 + noise; design matrix columns [x, 1].
     x_h = rng.uniform(-1, 1, n).astype(np.float32)

@@ -14,15 +14,20 @@ See the README quickstart (``README.md``) for the tensor-API basics and
 repeated CORDIC iterations.
 """
 
+import os
+
 import numpy as np
 
 import repro.pim as pim
 
+#: CI knob: shrink the simulated memory so every example finishes fast.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 
 def main() -> None:
-    pim.init(crossbars=16, rows=256)
+    pim.init(crossbars=4 if FAST else 16, rows=64 if FAST else 256)
     rng = np.random.default_rng(42)
-    n = 1024
+    n = 256 if FAST else 1024
 
     # Phase ramp for a tone, restricted to CORDIC's [-pi/2, pi/2] domain.
     phase_h = np.linspace(-np.pi / 2, np.pi / 2, n).astype(np.float32)

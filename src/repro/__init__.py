@@ -12,9 +12,12 @@ This package re-implements the complete PyPIM stack (MICRO 2024):
 - :mod:`repro.driver` — the host driver lowering macro-instructions to
   micro-operations via gate-level arithmetic (the AritPIM suite rebuilt
   from scratch).
+- :mod:`repro.backend` — pluggable execution engines behind one protocol:
+  the bit-accurate simulator pipeline and a fast NumPy functional model
+  with identical cycle accounting.
 - :mod:`repro.pim` — the NumPy-like Python tensor library (the paper's
   development library): tensors, views, dynamic memory management,
-  reductions, sorting, CORDIC.
+  reductions, sorting, CORDIC, and ``pim.compile`` graph capture.
 - :mod:`repro.theory` — theoretical PIM cycle counts and throughput bounds
   used by the evaluation.
 

@@ -1,0 +1,100 @@
+"""The execution-backend protocol behind :class:`repro.pim.device.PIMDevice`.
+
+A *backend* is the engine a device runs macro-instructions on. The tensor
+library (``repro.pim``) is written entirely against this protocol, so the
+same user program can execute on the bit-accurate simulator (the default,
+:class:`~repro.backend.simulator.SimulatorBackend`) or on the fast
+functional model (:class:`~repro.backend.numpy_backend.NumpyBackend`)
+without touching user code — ``pim.init(backend="numpy")`` is the whole
+switch.
+
+Every backend exposes:
+
+- :meth:`Backend.execute` — run one macro-instruction eagerly;
+- :meth:`Backend.compile` / :meth:`Backend.run_program` — turn a recorded
+  macro-instruction stream into a replayable program (the lowering target
+  of the ``pim.compile`` graph front-end) and replay it;
+- :attr:`Backend.words` — the raw ``(crossbars, registers, rows)`` word
+  image, used by the device's DMA-style bulk load/dump path;
+- :attr:`Backend.stats` — the :class:`~repro.sim.stats.SimStats` cycle
+  counters, with identical accounting semantics across backends (the
+  functional backend charges the same cycle model the simulator counts).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.isa.instructions import Instruction
+from repro.sim.stats import SimStats
+
+
+class Backend(abc.ABC):
+    """One execution engine for macro-instruction streams."""
+
+    #: Short identifier used by ``pim.init(backend=...)`` and cache keys.
+    name: str = "abstract"
+
+    def __init__(self, config: PIMConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def execute(self, instr: Instruction) -> Optional[int]:
+        """Execute one macro-instruction; returns the word for reads."""
+
+    @abc.abstractmethod
+    def compile(
+        self,
+        instructions: Sequence[Instruction],
+        name: str = "stream",
+        optimize: bool = True,
+    ):
+        """Compile a macro-instruction stream into a replayable program.
+
+        The returned handle is backend-specific (a
+        :class:`~repro.driver.program.MicroProgram` on the simulator, a
+        :class:`~repro.backend.numpy_backend.FunctionalProgram` on the
+        NumPy backend); pass it back to :meth:`run_program`.
+        """
+
+    @abc.abstractmethod
+    def run_program(self, program) -> Optional[int]:
+        """Replay a program from :meth:`compile`; returns the last read."""
+
+    # ------------------------------------------------------------------
+    # State and accounting
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def words(self) -> np.ndarray:
+        """Raw ``(crossbars, registers, rows)`` word image (DMA target)."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> SimStats:
+        """Cumulative cycle counters (same accounting on every backend)."""
+
+    def stats_snapshot(self) -> SimStats:
+        """Copy of the counters (for profiling diffs)."""
+        return self.stats.copy()
+
+    @property
+    def cache_hits(self) -> int:
+        """Compiled-stream cache hits (0 when the backend has no cache)."""
+        return 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Compiled-stream cache misses (0 when the backend has no cache)."""
+        return 0
+
+    def cache_counters(self) -> Tuple[int, int]:
+        """``(hits, misses)`` — what ``pim.Profiler`` snapshots."""
+        return self.cache_hits, self.cache_misses

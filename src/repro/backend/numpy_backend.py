@@ -1,0 +1,483 @@
+"""The fast functional backend: NumPy semantics, simulator cycle accounting.
+
+Where the bit-accurate backend executes every stateful-logic
+micro-operation individually, this backend executes each
+*macro-instruction* as one vectorized NumPy operation on the same packed
+``(crossbars, registers, rows)`` word image — functionally equivalent
+results (two's-complement int32, IEEE binary32 with the documented
+flush-to-zero convention) at a fraction of the host cost.
+
+The chip cycle model is **not** approximated away: every instruction is
+still lowered through the real :class:`~repro.driver.driver.Driver` (once
+per distinct instruction, memoized) and the resulting micro-op stream is
+charged to :class:`~repro.sim.stats.SimStats` with exactly the
+simulator's accounting rules — per-kind counters, INIT/mask overhead,
+gate counts scaled by the active rows, optional H-tree move costs. A
+profiled block therefore reports the *same* PIM cycles on both backends;
+only the wall-clock (and the bit-exactness guarantee of the memory
+image under fault injection) differs.
+
+Known deviations from the bit-accurate model, all outside the tested
+value domain (see DESIGN.md's FTZ notes): NaN payloads, the
+division-by-zero result convention, and subnormal handling in the unary
+float ops follow NumPy where the gate-level suite defines its own bits.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.htree import validate_move_pattern
+from repro.arch.masks import RangeMask
+from repro.arch.micro_ops import MicroOp
+from repro.backend.base import Backend
+from repro.driver.driver import Driver
+from repro.driver.program import config_fingerprint
+from repro.isa.instructions import (
+    Instruction,
+    MoveInstr,
+    ReadInstr,
+    RInstr,
+    ROp,
+    WriteInstr,
+    validate,
+)
+from repro.sim.simulator import SimulationError, accounting_walk
+from repro.sim.stats import SimStats
+
+_WORD_MASK = np.uint64(0xFFFFFFFF)
+_EXP_MASK = np.uint32(0x7F800000)
+_SIGN_MASK = np.uint32(0x80000000)
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionalProgram:
+    """A compiled macro-instruction stream for the NumPy backend.
+
+    The functional twin of :class:`~repro.driver.program.MicroProgram`:
+    ``instructions`` replay as vectorized NumPy updates, while
+    ``stats_delta`` holds the micro-op accounting of the (optionally
+    peephole-optimized) lowered stream, precomputed once at compile time
+    so replay charges the exact cycles the simulator backend would.
+    """
+
+    instructions: Tuple[Instruction, ...]
+    name: str
+    config_fingerprint: Tuple[int, int, int, int, int]
+    stats_delta: SimStats
+    macros: int
+
+    def __len__(self) -> int:
+        return self.stats_delta.micro_ops
+
+
+class NumpyBackend(Backend):
+    """Functional macro-instruction execution with simulator cycle counts.
+
+    Accepts the same keyword arguments as the driver (``parallelism``
+    changes which lowering — and therefore which cycle counts — are
+    charged; ``cache_size`` bounds the lowering cache) plus the
+    simulator's ``move_cost`` model. ``guard`` is accepted for interface
+    parity and ignored (there is no gate level to guard).
+    """
+
+    name = "numpy"
+
+    def __init__(
+        self,
+        config: PIMConfig,
+        move_cost: str = "unit",
+        guard: bool = False,
+        **driver_kwargs,
+    ):
+        super().__init__(config)
+        if config.word_size != 32:
+            raise ValueError("the numpy backend models 32-bit words only")
+        if move_cost not in ("unit", "htree"):
+            raise ValueError("move_cost must be 'unit' or 'htree'")
+        self.move_cost = move_cost
+        self._words = np.zeros(
+            (config.crossbars, config.registers, config.rows), dtype=np.uint32
+        )
+        self._stats = SimStats()
+        # The real driver supplies the lowering this backend charges for;
+        # its chip port is never used (lowered ops feed the stats replayer).
+        self._driver = Driver(None, config=config, **driver_kwargs)
+        self._instr_stats: Dict[Instruction, SimStats] = {}
+        self._hits = 0
+        self._misses = 0
+        # Replay plans for compiled programs (pre-resolved per-instruction
+        # closures), dropped automatically when a program is collected.
+        self._plans: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # Validated (warp_mask, dist) -> source-warp index array, shared by
+        # every eager move with the same pattern.
+        self._move_cache: Dict[Tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Backend interface
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> np.ndarray:
+        return self._words
+
+    @property
+    def stats(self) -> SimStats:
+        return self._stats
+
+    @property
+    def cache_hits(self) -> int:
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._misses
+
+    def execute(self, instr: Instruction) -> Optional[int]:
+        validate(instr, self.config.registers)
+        delta = self._instr_stats.get(instr)
+        if delta is None:
+            self._misses += 1
+            ops = self._driver._lower_ops(instr)
+            try:
+                delta = self._replay_stats(ops)
+            except SimulationError:
+                self._charge_rejected_move(instr)
+                raise
+            if len(self._instr_stats) < 65536:
+                self._instr_stats[instr] = delta
+        else:
+            self._hits += 1
+        result = self._apply(instr)
+        self._stats.merge(delta)
+        return result
+
+    def _charge_rejected_move(self, instr: Instruction) -> None:
+        """Mirror the simulator's partial accounting for rejected moves.
+
+        An inter-warp move lowering starts with a crossbar-mask op; the
+        simulator executes (and counts) it before the H-tree validation
+        rejects the ``MoveOp``, and the tensor library's bulk-move
+        fallback relies on catching that error — so the mask cycle must
+        be charged here too.
+        """
+        if isinstance(instr, MoveInstr) and instr.warp_dist:
+            self._stats.record("mask_crossbar")
+
+    def compile(
+        self,
+        instructions: Sequence[Instruction],
+        name: str = "stream",
+        optimize: bool = True,
+    ) -> FunctionalProgram:
+        """Compile a stream: lower once (through the real driver, with the
+        peephole passes when ``optimize``) purely to fix the cycle bill,
+        and keep the macro-instructions for functional replay."""
+        instrs = tuple(instructions)
+        micro = self._driver.compile(list(instrs), name=name, optimize=optimize)
+        delta = self._replay_stats(micro.ops)
+        return FunctionalProgram(
+            instrs, name, config_fingerprint(self.config), delta, len(instrs)
+        )
+
+    def run_program(self, program: FunctionalProgram) -> Optional[int]:
+        """Replay a compiled stream from its pre-resolved plan.
+
+        On first sight of a program this builds a *replay plan* — one
+        closure per macro-instruction with regions, index arrays, and
+        operation constants already resolved — exactly the strategy of
+        the simulator's ``execute_program`` fast path. Replay then pays
+        only the vectorized memory updates plus one batched stats merge.
+        """
+        if program.config_fingerprint != config_fingerprint(self.config):
+            raise SimulationError(
+                f"program {program.name!r} was compiled for fingerprint "
+                f"{program.config_fingerprint}, this backend is "
+                f"{config_fingerprint(self.config)}"
+            )
+        plan = self._plans.get(program)
+        if plan is None:
+            plan = [self._plan_instr(instr) for instr in program.instructions]
+            self._plans[program] = plan
+        self._hits += 1
+        response: Optional[int] = None
+        with np.errstate(all="ignore"):
+            for step in plan:
+                result = step()
+                if result is not None:
+                    response = result
+        self._stats.merge(program.stats_delta)
+        return response
+
+    def _plan_instr(self, instr: Instruction) -> Callable[[], Optional[int]]:
+        """Pre-resolve one macro-instruction into a replay closure."""
+        words = self._words
+        if isinstance(instr, RInstr):
+            out = self._region(instr.dest, instr.warp_mask, instr.row_mask)
+            srcs = [
+                self._region(reg, instr.warp_mask, instr.row_mask)
+                for reg in instr.sources()
+            ]
+            semantics = _float_op if instr.dtype.is_float else _int_op
+            op = instr.op
+
+            def r_step(out=out, srcs=srcs, op=op, semantics=semantics):
+                out[...] = semantics(op, srcs)
+
+            return r_step
+        if isinstance(instr, WriteInstr):
+            region = self._region(instr.reg, instr.warp_mask, instr.row_mask)
+            value = np.uint32(instr.value)
+
+            def w_step(region=region, value=value):
+                region[...] = value
+
+            return w_step
+        if isinstance(instr, ReadInstr):
+            warp, reg, thread = instr.warp, instr.reg, instr.thread
+
+            def read_step():
+                return int(words[warp, reg, thread])
+
+            return read_step
+        if isinstance(instr, MoveInstr):
+            warps = instr.warp_mask or RangeMask.all(self.config.crossbars)
+            if instr.warp_dist:
+                try:
+                    validate_move_pattern(
+                        warps, instr.warp_dist, self.config.crossbars
+                    )
+                except ValueError as exc:
+                    raise SimulationError(str(exc)) from exc
+            src_reg, dst_reg = instr.src_reg, instr.dst_reg
+            src_row, dst_row = instr.src_thread, instr.dst_thread
+            if len(warps) == 1:
+                sw = warps.start
+                dw = sw + instr.warp_dist
+
+                def single_move():
+                    words[dw, dst_reg, dst_row] = words[sw, src_reg, src_row]
+
+                return single_move
+            sources = np.fromiter(warps.indices(), dtype=np.int64)
+            dests = sources + instr.warp_dist
+
+            def move_step(sources=sources, dests=dests):
+                words[dests, dst_reg, dst_row] = words[sources, src_reg, src_row]
+
+            return move_step
+        raise SimulationError(f"not an instruction: {instr!r}")
+
+    # ------------------------------------------------------------------
+    # Cycle accounting: replay a lowered stream into a stats delta
+    # ------------------------------------------------------------------
+    def _replay_stats(self, ops: Sequence[MicroOp]) -> SimStats:
+        """Charge a micro-op stream with the simulator's accounting rules.
+
+        Delegates to :func:`repro.sim.simulator.accounting_walk` (the
+        shared cycle-model walker) in strict mode: masks start as
+        all-selected like a fresh chip, and an illegal H-tree move raises
+        the same :class:`SimulationError` the simulator would.
+        """
+        return accounting_walk(
+            ops,
+            self.config,
+            self.move_cost,
+            xb=RangeMask.all(self.config.crossbars),
+            row=RangeMask.all(self.config.rows),
+            strict=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def _apply(self, instr: Instruction) -> Optional[int]:
+        if isinstance(instr, RInstr):
+            self._apply_rtype(instr)
+            return None
+        if isinstance(instr, WriteInstr):
+            self._region(instr.reg, instr.warp_mask, instr.row_mask)[...] = (
+                np.uint32(instr.value)
+            )
+            return None
+        if isinstance(instr, ReadInstr):
+            return int(self._words[instr.warp, instr.reg, instr.thread])
+        if isinstance(instr, MoveInstr):
+            self._apply_move(instr)
+            return None
+        raise SimulationError(f"not an instruction: {instr!r}")
+
+    def _region(
+        self,
+        reg: int,
+        warp_mask: Optional[RangeMask],
+        row_mask: Optional[RangeMask],
+    ) -> np.ndarray:
+        wm = warp_mask or RangeMask.all(self.config.crossbars)
+        rm = row_mask or RangeMask.all(self.config.rows)
+        return self._words[
+            wm.start : wm.stop + 1 : wm.step, reg, rm.start : rm.stop + 1 : rm.step
+        ]
+
+    def _apply_move(self, instr: MoveInstr) -> None:
+        warps = instr.warp_mask or RangeMask.all(self.config.crossbars)
+        key = (warps, instr.warp_dist)
+        sources = self._move_cache.get(key)
+        if sources is None:
+            if instr.warp_dist:
+                try:
+                    validate_move_pattern(
+                        warps, instr.warp_dist, self.config.crossbars
+                    )
+                except ValueError as exc:
+                    raise SimulationError(str(exc)) from exc
+            sources = np.fromiter(warps.indices(), dtype=np.int64)
+            if len(self._move_cache) < 65536:
+                self._move_cache[key] = sources
+        self._words[sources + instr.warp_dist, instr.dst_reg, instr.dst_thread] = (
+            self._words[sources, instr.src_reg, instr.src_thread]
+        )
+
+    def _apply_rtype(self, instr: RInstr) -> None:
+        out = self._region(instr.dest, instr.warp_mask, instr.row_mask)
+        srcs = [
+            self._region(reg, instr.warp_mask, instr.row_mask)
+            for reg in instr.sources()
+        ]
+        with np.errstate(all="ignore"):
+            if instr.dtype.is_float:
+                result = _float_op(instr.op, srcs)
+            else:
+                result = _int_op(instr.op, srcs)
+        out[...] = result
+
+
+# ----------------------------------------------------------------------
+# Raw-word operation semantics (mirroring the gate-level suite)
+# ----------------------------------------------------------------------
+def _signed(raw: np.ndarray) -> np.ndarray:
+    """Raw words as signed int64 values (two's complement decode)."""
+    wide = raw.astype(np.int64)
+    return np.where(wide >= 1 << 31, wide - (1 << 32), wide)
+
+
+def _wrap(values: np.ndarray) -> np.ndarray:
+    """Truncate int64 results back to raw 32-bit words."""
+    return (values.astype(np.int64) & np.int64(0xFFFFFFFF)).astype(np.uint32)
+
+
+def _int_op(op: ROp, srcs: List[np.ndarray]) -> np.ndarray:
+    a = srcs[0]
+    b = srcs[1] if len(srcs) > 1 else None
+    if op is ROp.ADD:
+        return _wrap(a.astype(np.int64) + b.astype(np.int64))
+    if op is ROp.SUB:
+        return _wrap(a.astype(np.int64) - b.astype(np.int64))
+    if op is ROp.MUL:
+        return _wrap(a.astype(np.int64) * b.astype(np.int64))
+    if op in (ROp.DIV, ROp.MOD):
+        return _int_divmod(op, a, b)
+    if op is ROp.NEG:
+        return _wrap(-a.astype(np.int64))
+    if op is ROp.ABS:
+        return _wrap(np.abs(_signed(a)))
+    if op is ROp.SIGN:
+        return _wrap(np.sign(_signed(a)))
+    if op is ROp.ZERO:
+        return (a == 0).astype(np.uint32)
+    if op in _COMPARES:
+        return _COMPARES[op](_signed(a), _signed(b)).astype(np.uint32)
+    return _raw_op(op, srcs)
+
+
+def _int_divmod(op: ROp, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Truncated division/remainder as the restoring-divider computes it.
+
+    Magnitudes run through an unsigned datapath; ``b == 0`` yields the
+    all-ones quotient magnitude and ``|a|`` remainder the hardware
+    produces, and the result is sign-corrected (quotient by XOR of signs,
+    remainder by the dividend's sign).
+    """
+    sa, sb = _signed(a), _signed(b)
+    mag_a = np.abs(sa).astype(np.uint64)
+    mag_b = np.abs(sb).astype(np.uint64)
+    safe_b = np.where(mag_b == 0, 1, mag_b)
+    q_mag = np.where(mag_b == 0, _WORD_MASK, mag_a // safe_b).astype(np.int64)
+    r_mag = np.where(mag_b == 0, mag_a, mag_a % safe_b).astype(np.int64)
+    if op is ROp.DIV:
+        negative = (sa < 0) ^ (sb < 0)
+        return _wrap(np.where(negative, -q_mag, q_mag))
+    return _wrap(np.where(sa < 0, -r_mag, r_mag))
+
+
+_COMPARES = {
+    ROp.LT: np.less,
+    ROp.LE: np.less_equal,
+    ROp.GT: np.greater,
+    ROp.GE: np.greater_equal,
+    ROp.EQ: np.equal,
+    ROp.NE: np.not_equal,
+}
+
+
+def _ftz(raw: np.ndarray) -> np.ndarray:
+    """Flush subnormal words to signed zero (the documented FTZ model)."""
+    return np.where(raw & _EXP_MASK == 0, raw & _SIGN_MASK, raw)
+
+
+def _as_float(raw: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(_ftz(raw)).view(np.float32)
+
+
+def _from_float(values: np.ndarray) -> np.ndarray:
+    raw = np.ascontiguousarray(values.astype(np.float32)).view(np.uint32)
+    return _ftz(raw)
+
+
+def _float_op(op: ROp, srcs: List[np.ndarray]) -> np.ndarray:
+    a = srcs[0]
+    b = srcs[1] if len(srcs) > 1 else None
+    if op is ROp.ADD:
+        return _from_float(_as_float(a) + _as_float(b))
+    if op is ROp.SUB:
+        return _from_float(_as_float(a) - _as_float(b))
+    if op is ROp.MUL:
+        return _from_float(_as_float(a) * _as_float(b))
+    if op is ROp.DIV:
+        return _from_float(_as_float(a) / _as_float(b))
+    if op is ROp.NEG:
+        return a ^ _SIGN_MASK
+    if op is ROp.ABS:
+        return a & ~_SIGN_MASK
+    if op is ROp.SIGN:
+        nonzero = a & _EXP_MASK != 0
+        one = np.uint32(0x3F800000)
+        return np.where(nonzero, one | (a & _SIGN_MASK), np.uint32(0))
+    if op is ROp.ZERO:
+        return (a & _EXP_MASK == 0).astype(np.uint32)
+    if op in _COMPARES:
+        return _COMPARES[op](_as_float(a), _as_float(b)).astype(np.uint32)
+    return _raw_op(op, srcs)
+
+
+def _raw_op(op: ROp, srcs: List[np.ndarray]) -> np.ndarray:
+    """Dtype-independent raw-word operations (bitwise, mux, copy)."""
+    a = srcs[0]
+    if op is ROp.COPY:
+        return a.copy()
+    if op is ROp.BIT_NOT:
+        return ~a
+    if op is ROp.BIT_AND:
+        return a & srcs[1]
+    if op is ROp.BIT_OR:
+        return a | srcs[1]
+    if op is ROp.BIT_XOR:
+        return a ^ srcs[1]
+    if op is ROp.MUX:
+        # Bit 0 of the condition register selects, as in the gate lowering.
+        return np.where(a & 1 == 1, srcs[1], srcs[2])
+    raise SimulationError(f"unsupported functional op {op}")

@@ -1,0 +1,71 @@
+"""The bit-accurate backend: host driver + cycle-accurate simulator.
+
+This is the default engine and the reference for every other backend:
+macro-instructions are lowered by :class:`repro.driver.driver.Driver`
+into stateful-logic micro-operations and executed cycle-by-cycle on the
+:class:`repro.sim.simulator.Simulator`. All of PR 1's compile/replay
+machinery (program cache, ``execute_program`` fast path) sits behind
+:meth:`SimulatorBackend.compile` / :meth:`run_program`, which is what the
+``pim.compile`` graph front-end lowers whole traced functions through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.backend.base import Backend
+from repro.driver.driver import Driver
+from repro.isa.instructions import Instruction
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimStats
+
+
+class SimulatorBackend(Backend):
+    """Bit-accurate execution: ``Driver`` lowering onto a ``Simulator``.
+
+    Keyword arguments are forwarded to the driver (``parallelism``,
+    ``cache_size``, ``guard``), except ``move_cost`` which selects the
+    simulator's move-cost model.
+    """
+
+    name = "simulator"
+
+    def __init__(self, config: PIMConfig, move_cost: str = "unit", **driver_kwargs):
+        super().__init__(config)
+        self.simulator = Simulator(config, move_cost=move_cost)
+        self.driver = Driver(self.simulator, **driver_kwargs)
+
+    # ------------------------------------------------------------------
+    def execute(self, instr: Instruction) -> Optional[int]:
+        return self.driver.execute(instr)
+
+    def compile(
+        self,
+        instructions: Sequence[Instruction],
+        name: str = "stream",
+        optimize: bool = True,
+    ):
+        return self.driver.compile(list(instructions), name=name, optimize=optimize)
+
+    def run_program(self, program) -> Optional[int]:
+        return self.driver.run_program(program)
+
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> np.ndarray:
+        return self.simulator.memory.words
+
+    @property
+    def stats(self) -> SimStats:
+        return self.simulator.stats
+
+    @property
+    def cache_hits(self) -> int:
+        return self.driver.programs.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.driver.programs.misses

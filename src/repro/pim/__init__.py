@@ -9,6 +9,7 @@ Quickstart (Figure 12 of the paper)::
 
     import repro.pim as pim
 
+    @pim.compile          # optional: capture once, replay on later calls
     def my_func(a: pim.Tensor, b: pim.Tensor):
         return a * b + a
 
@@ -17,10 +18,20 @@ Quickstart (Figure 12 of the paper)::
     x[4], y[4] = 8.0, 0.5
     z = my_func(x, y)
     print(z[::2].sum())
+
+Execution is eager by default (every operator dispatches one
+macro-instruction stream to the device backend); ``@pim.compile`` defers
+a whole function into a fused, cached program (see
+:mod:`repro.pim.compile`), and ``pim.init(backend="numpy")`` swaps the
+bit-accurate simulator for the fast functional backend
+(:mod:`repro.backend`) without changing any user code.
 """
 
+from repro.backend import Backend, NumpyBackend, SimulatorBackend
 from repro.isa.dtypes import float32, int32
+from repro.pim.compile import CompiledFunction, compile
 from repro.pim.device import PIMDevice, default_device, init, reset
+from repro.pim.graph import Graph, GraphNode, ScalarRef, TraceError, trace
 from repro.pim.functional import (
     arange,
     from_numpy,
@@ -39,7 +50,17 @@ from repro.pim.tensor import Tensor, TensorView
 __all__ = [
     "float32",
     "int32",
+    "Backend",
+    "NumpyBackend",
+    "SimulatorBackend",
     "PIMDevice",
+    "CompiledFunction",
+    "compile",
+    "trace",
+    "Graph",
+    "GraphNode",
+    "ScalarRef",
+    "TraceError",
     "default_device",
     "init",
     "reset",

@@ -1,0 +1,416 @@
+"""``pim.compile``: whole-function graph capture with cached replay.
+
+The Figure-12 user program becomes one fused program with a decorator::
+
+    @pim.compile
+    def my_func(a, b):
+        return a * b + a
+
+    z = my_func(x, y)        # first call: capture + lower + cache
+    z = my_func(x2, y2)      # later calls: replay the fused program
+
+The first call with a given signature (argument lengths/dtypes, scalar
+values, device geometry) runs the function eagerly under a
+:class:`~repro.pim.graph.TraceSession`, then lowers the captured
+macro-instruction stream through the device backend into one replayable
+program — on the simulator backend that is a single fused
+:class:`~repro.driver.program.MicroProgram` riding the
+``execute_program`` replay fast path. Later calls skip the entire tensor
+layer and driver: new argument data is DMA-copied into the captured
+input registers, the program replays, and deferred scalar reads are
+re-issued.
+
+Replay is **cycle-exact** with eager mode by default (``optimize=False``):
+the replayed stream is the eager stream, so memory contents and PIM
+cycle counters match bit-for-bit. ``optimize=True`` additionally runs
+the peephole passes (same memory, fewer mask cycles).
+
+Limitations (enforced with :class:`~repro.pim.graph.TraceError` where
+detectable): Python-level control flow is baked in at capture time, PIM
+scalars read inside the function may only be returned (not used to steer
+computation), and arguments must be compact tensors or scalars. Output
+tensors are the compiled graph's persistent result buffers: every replay
+returns the *same* tensor objects with refreshed contents (call
+``.copy()`` to keep a result across calls), unlike eager mode's fresh
+tensor per call.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import OrderedDict
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.masks import RangeMask
+from repro.driver.program import config_fingerprint
+from repro.isa.instructions import MoveInstr, ReadInstr, RInstr, WriteInstr
+from repro.pim.graph import Graph, ScalarRef, TraceError, TraceSession
+from repro.pim.tensor import Tensor, TensorView
+
+#: Python/NumPy scalar types accepted as baked-in compiled-call arguments.
+_SCALAR_TYPES = (int, float, np.integer, np.floating)
+
+
+def _resolve(value):
+    """Replace ScalarRefs with their concrete values in an output tree."""
+    if isinstance(value, ScalarRef):
+        return value.value
+    if isinstance(value, tuple):
+        return tuple(_resolve(v) for v in value)
+    if isinstance(value, list):
+        return [_resolve(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _resolve(v) for k, v in value.items()}
+    return value
+
+
+def _resolve_replay(value, scalars: List):
+    """Rebuild an output tree using this replay's deferred-read values."""
+    if isinstance(value, ScalarRef):
+        from repro.isa.dtypes import raw_to_value
+
+        return raw_to_value(scalars[value.read_index], value.dtype)
+    if isinstance(value, tuple):
+        return tuple(_resolve_replay(v, scalars) for v in value)
+    if isinstance(value, list):
+        return [_resolve_replay(v, scalars) for v in value]
+    if isinstance(value, dict):
+        return {k: _resolve_replay(v, scalars) for k, v in value.items()}
+    return value
+
+
+def _collect_output_bases(value, acc: set) -> None:
+    """Record the base tensors an output tree aliases (by identity)."""
+    if isinstance(value, Tensor):
+        acc.add(id(value))
+    elif isinstance(value, TensorView):
+        acc.add(id(value.base))
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _collect_output_bases(item, acc)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect_output_bases(item, acc)
+
+
+def _writes_slot(instr, slot, config) -> bool:
+    """Does this instruction write anywhere inside a slot's cells?"""
+
+    def overlaps(reg: int, warps: Optional[RangeMask], shift: int = 0) -> bool:
+        if reg != slot.reg:
+            return False
+        warps = warps or RangeMask.all(config.crossbars)
+        lo, hi = warps.start + shift, warps.stop + shift
+        return hi >= slot.warp_start and lo < slot.warp_stop
+
+    if isinstance(instr, RInstr):
+        return overlaps(instr.dest, instr.warp_mask)
+    if isinstance(instr, WriteInstr):
+        return overlaps(instr.reg, instr.warp_mask)
+    if isinstance(instr, MoveInstr):
+        return overlaps(instr.dst_reg, instr.warp_mask, instr.warp_dist)
+    return False
+
+
+def _overwrites_cell(instr, reg: int, warp: int, thread: int, config) -> bool:
+    """Does this instruction write the memory word a read observed?"""
+    if isinstance(instr, RInstr):
+        if instr.dest != reg:
+            return False
+        warps = instr.warp_mask or RangeMask.all(config.crossbars)
+        rows = instr.row_mask or RangeMask.all(config.rows)
+        return warp in warps and thread in rows
+    if isinstance(instr, WriteInstr):
+        if instr.reg != reg:
+            return False
+        warps = instr.warp_mask or RangeMask.all(config.crossbars)
+        rows = instr.row_mask or RangeMask.all(config.rows)
+        return warp in warps and thread in rows
+    if isinstance(instr, MoveInstr):
+        if instr.dst_reg != reg or instr.dst_thread != thread:
+            return False
+        warps = instr.warp_mask or RangeMask.all(config.crossbars)
+        return (warp - instr.warp_dist) in warps
+    return False
+
+
+def _check_deferred_reads(instructions, config) -> None:
+    """Reject captures whose scalar reads replay cannot defer.
+
+    Deferred reads are re-issued *after* the replayed program, which is
+    only equivalent when nothing later in the stream overwrites the cell
+    each read observed (true for the terminal read of a reduction, the
+    common case). A mid-stream read of a subsequently recycled cell
+    would silently return the later value, so it fails loudly instead.
+    """
+    pending: List[ReadInstr] = []
+    for instr in instructions:
+        if isinstance(instr, ReadInstr):
+            pending.append(instr)
+            continue
+        for read in pending:
+            if _overwrites_cell(instr, read.reg, read.warp, read.thread, config):
+                raise TraceError(
+                    "a scalar read inside the traced function observes "
+                    "memory that later operations overwrite, so its value "
+                    "cannot be re-read after replay. Restructure the "
+                    "function so scalars are read from cells that stay "
+                    "live (e.g. read them after the compiled call)."
+                )
+
+
+class CompiledGraph:
+    """One captured-and-lowered graph: the unit the signature cache holds.
+
+    Holds the capture-time argument and output tensors, and *reserves*
+    every allocator cell the trace touched (including cells whose
+    intermediate tensors were freed during capture, exactly as eager
+    execution frees them) — replaying the fused stream writes into those
+    cells, so nothing else may be allocated there. Dropping the compiled
+    graph releases the reservation.
+    """
+
+    def __init__(
+        self,
+        device,
+        session: TraceSession,
+        program,
+        bound_args: Tuple[Any, ...],
+        outputs: Any,
+    ):
+        self.device = device
+        self.graph: Graph = session.graph
+        self.program = program
+        self.reads = session.reads
+        self.bound_args = bound_args
+        self.outputs = outputs
+        self.reserved = device.allocator.reserve_cells(session.cells)
+        self.replays = 0
+        # Base tensors the outputs alias: replay must leave the marshalled
+        # data in these (the output *is* the argument buffer); every other
+        # argument tensor is restored so calling f(y, x) cannot corrupt
+        # the captured x and y.
+        self._output_base_ids: set = set()
+        _collect_output_bases(outputs, self._output_base_ids)
+        # Argument tensors the traced stream itself writes: eager mode
+        # mutates the caller's tensor in place, so replay must copy the
+        # computed contents back out instead of restoring stale data.
+        self._mutated_bound_ids = {
+            id(bound)
+            for bound in bound_args
+            if isinstance(bound, Tensor)
+            and any(
+                _writes_slot(instr, bound.slot, device.config)
+                for instr in self.graph.instructions
+            )
+        }
+
+    def release(self) -> None:
+        """Return the reserved scratch cells to the allocator."""
+        if self.reserved and not self.device.closed:
+            self.device.allocator.release_cells(self.reserved)
+        self.reserved = []
+
+    def __del__(self):
+        try:
+            self.release()
+        except Exception:  # interpreter teardown
+            pass
+
+    def replay(self, args: Tuple[Any, ...]):
+        device = self.device
+        backend = device.backend
+        # Marshal: new argument data lands in the captured input slots (a
+        # DMA-style raw copy, like the test harness's load path; a call
+        # that reuses the original tensor objects copies nothing). All
+        # sources are snapshotted before any slot is written, so passing
+        # the captured tensors back in permuted positions cannot clobber
+        # a value that another argument still needs; marshalled slots are
+        # restored afterwards (unless an output aliases them), so the
+        # captured tensors keep their own data across replays.
+        pending = []
+        saved = []
+        write_back = []
+        for bound, arg in zip(self.bound_args, args):
+            if isinstance(bound, Tensor) and arg is not bound:
+                pending.append((bound, device.read_raw(arg.slot, bound.length)))
+                if id(bound) in self._mutated_bound_ids:
+                    # Eager mode writes the caller's tensor in place; the
+                    # replayed stream writes the bound slot, so the result
+                    # is copied out to the caller afterwards.
+                    write_back.append((bound, arg))
+                elif id(bound) not in self._output_base_ids:
+                    saved.append((bound, device.read_raw(bound.slot, bound.length)))
+        for bound, raw in pending:
+            device.write_raw(bound.slot, raw)
+        try:
+            backend.run_program(self.program)
+            self.replays += 1
+            if not self.reads:
+                return _resolve(self.outputs)
+            # Deferred scalar reads are re-issued eagerly (their 3
+            # micro-ops are charged exactly as eager mode charges them)
+            # and converted with each ScalarRef's capture-time dtype.
+            scalars = [backend.execute(instr) for instr in self.reads]
+            return _resolve_replay(self.outputs, scalars)
+        finally:
+            for bound, arg in write_back:
+                device.write_raw(arg.slot, device.read_raw(bound.slot, bound.length))
+            for bound, raw in saved:
+                device.write_raw(bound.slot, raw)
+
+
+class CompiledFunction:
+    """The callable returned by ``@pim.compile`` (one cache per function).
+
+    Programs are cached per *signature*: argument kinds, tensor lengths
+    and dtypes, baked-in scalar values, the device identity, its config
+    fingerprint, and the backend — a re-``init`` or geometry change can
+    never replay a stale graph.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        device=None,
+        optimize: bool = False,
+        name: Optional[str] = None,
+        cache_size: int = 32,
+    ):
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.optimize = optimize
+        self.name = name or getattr(fn, "__name__", "graph")
+        self.cache_size = max(int(cache_size), 1)
+        self._device = device
+        self._cache: "OrderedDict[Tuple, CompiledGraph]" = OrderedDict()
+        self.captures = 0
+
+    # ------------------------------------------------------------------
+    def _signature(self, device, args) -> Tuple:
+        parts: List[Tuple] = []
+        first_seen: dict = {}
+        for position, arg in enumerate(args):
+            if isinstance(arg, Tensor):
+                if arg.device is not device:
+                    raise TraceError(
+                        "argument tensor lives on a different device than "
+                        "the one this function compiles for"
+                    )
+                # The aliasing pattern is part of the graph's identity:
+                # f(x, x) captures both operands in one register, so a
+                # later f(y, z) must recapture, not replay.
+                alias = first_seen.setdefault(id(arg), position)
+                parts.append(("tensor", arg.length, arg.dtype.name, alias))
+            elif isinstance(arg, TensorView):
+                raise TraceError(
+                    "compiled functions take compact tensors; call "
+                    ".compact() on views before passing them"
+                )
+            elif isinstance(arg, _SCALAR_TYPES):
+                parts.append(("scalar", type(arg).__name__, arg))
+            else:
+                raise TraceError(
+                    f"unsupported compiled-call argument {type(arg).__name__}; "
+                    "pass pim.Tensor or plain scalars"
+                )
+        return (
+            id(device),
+            device.backend.name,
+            config_fingerprint(device.config),
+            tuple(parts),
+        )
+
+    def _capture(self, device, args) -> Tuple[CompiledGraph, Any]:
+        self.captures += 1
+        session = device.begin_trace(self.name)
+        try:
+            out = self.fn(*args)
+        finally:
+            device.end_trace()
+        _check_deferred_reads(session.graph.instructions, device.config)
+        program = session.lower(optimize=self.optimize, keep_reads=False)
+        entry = CompiledGraph(device, session, program, tuple(args), out)
+        return entry, _resolve(out)
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args):
+        from repro.pim.device import default_device
+
+        device = self._device or default_device()
+        if device._trace is not None:
+            # Nested inside another capture: inline into the outer graph.
+            return self.fn(*args)
+        key = self._signature(device, args)
+        entry = self._cache.get(key)
+        if entry is not None and entry.device is device and not device.closed:
+            self._cache.move_to_end(key)
+            return entry.replay(args)
+        if entry is not None:
+            entry.release()
+        entry, first = self._capture(device, args)
+        self._store(key, entry)
+        return first
+
+    def _store(self, key: Tuple, entry: CompiledGraph) -> None:
+        """Insert a captured graph, enforcing the LRU bound.
+
+        Bounded because each entry reserves allocator cells: unbounded
+        growth (e.g. a sweep over baked-in scalar arguments) would
+        exhaust the device memory, not just the host's.
+        """
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            _, evicted = self._cache.popitem(last=False)
+            evicted.release()
+
+    # ------------------------------------------------------------------
+    @property
+    def cached_graphs(self) -> int:
+        """Number of captured (graph, signature) entries currently held."""
+        return len(self._cache)
+
+    def graph_for(self, *args) -> Graph:
+        """The captured tensor-level IR for a signature (capturing if new)."""
+        from repro.pim.device import default_device
+
+        device = self._device or default_device()
+        key = self._signature(device, args)
+        entry = self._cache.get(key)
+        if entry is None or entry.device is not device or device.closed:
+            if entry is not None:
+                entry.release()
+            entry, _ = self._capture(device, args)
+            self._store(key, entry)
+        return entry.graph
+
+    def clear(self) -> None:
+        """Drop every cached graph (releases the reserved cells)."""
+        for entry in self._cache.values():
+            entry.release()
+        self._cache.clear()
+
+
+def compile(
+    fn: Optional[Callable] = None,
+    *,
+    device=None,
+    optimize: bool = False,
+    cache_size: int = 32,
+):
+    """Decorate a tensor function for capture-once / replay-many execution.
+
+    Usable bare (``@pim.compile``) or parameterized
+    (``@pim.compile(optimize=True)``). ``cache_size`` bounds the
+    per-function signature cache (LRU; evicted graphs release their
+    reserved device cells). See the module docstring for the capture
+    protocol, the cache key, and tracing limitations.
+    """
+    if fn is None:
+        return functools.partial(
+            compile, device=device, optimize=optimize, cache_size=cache_size
+        )
+    return CompiledFunction(fn, device=device, optimize=optimize, cache_size=cache_size)

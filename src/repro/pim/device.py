@@ -1,62 +1,153 @@
-"""The PIM device: simulator + driver + allocator behind the tensor API.
+"""The PIM device: an execution backend + allocator behind the tensor API.
 
-A :class:`PIMDevice` bundles everything one "chip" needs. The module keeps
-a lazily-created default device (configurable via :func:`init`) so that the
-NumPy-style module functions (``pim.zeros`` etc.) work out of the box, as
-in the paper's examples.
+A :class:`PIMDevice` bundles everything one "chip" needs: the memory
+allocator and a pluggable execution :class:`~repro.backend.base.Backend`.
+The default backend is the bit-accurate driver + simulator pair; pass
+``backend="numpy"`` to :func:`init` (or a backend instance/class) for the
+fast functional model with identical cycle accounting.
+
+The module keeps a lazily-created default device (configurable via
+:func:`init`) so that the NumPy-style module functions (``pim.zeros``
+etc.) work out of the box, as in the paper's examples. :func:`reset`
+*closes* the default device: outstanding tensors raise a clear error on
+use instead of silently touching a stale allocator.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.arch.config import PIMConfig
 from repro.arch.masks import RangeMask
+from repro.backend import Backend, make_backend
 from repro.isa.dtypes import DType, array_to_raw, raw_to_array
 from repro.isa.instructions import Instruction
 from repro.pim.malloc import Allocator, Slot
-from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
 
 
 class PIMDevice:
-    """One simulated PIM chip with its host driver and memory manager."""
+    """One simulated PIM chip: execution backend + host memory manager."""
 
-    def __init__(self, config: Optional[PIMConfig] = None, **driver_kwargs):
-        from repro.driver.driver import Driver  # local import: no cycles
-
+    def __init__(
+        self,
+        config: Optional[PIMConfig] = None,
+        backend: Union[str, Backend, type, None] = None,
+        **backend_kwargs,
+    ):
+        if config is None and isinstance(backend, Backend):
+            config = backend.config  # adopt a pre-built backend's geometry
         self.config = config or PIMConfig()
-        self.simulator = Simulator(self.config)
-        self.driver = Driver(self.simulator, **driver_kwargs)
+        self.backend = make_backend(backend, self.config, **backend_kwargs)
         self.allocator = Allocator(self.config)
+        self.closed = False
+        self._trace = None
+
+    # ------------------------------------------------------------------
+    # Backward-compatible access to the default backend's internals
+    # ------------------------------------------------------------------
+    @property
+    def simulator(self):
+        """The bit-accurate simulator (simulator backend only)."""
+        sim = getattr(self.backend, "simulator", None)
+        if sim is None:
+            raise AttributeError(
+                f"the {self.backend.name!r} backend has no simulator; use "
+                "device.backend for backend-agnostic state access"
+            )
+        return sim
+
+    @property
+    def driver(self):
+        """The host driver (simulator backend only)."""
+        drv = getattr(self.backend, "driver", None)
+        if drv is None:
+            raise AttributeError(
+                f"the {self.backend.name!r} backend has no host driver; use "
+                "device.backend for backend-agnostic state access"
+            )
+        return drv
 
     # ------------------------------------------------------------------
     @property
     def rows(self) -> int:
         return self.config.rows
 
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(
+                "this PIMDevice has been reset (pim.reset()); create a new "
+                "device with pim.init() and reallocate its tensors"
+            )
+
+    def close(self) -> None:
+        """Invalidate the device: any further use raises a clear error."""
+        self.closed = True
+
+    def _check_not_tracing(self, what: str) -> None:
+        """DMA-style transfers bypass the instruction stream, so a replay
+        could never reproduce them — fail loudly during capture."""
+        if self._trace is not None:
+            from repro.pim.graph import TraceError
+
+            raise TraceError(
+                f"cannot {what} tensor data over the DMA interface inside a "
+                "traced function: the transfer bypasses the instruction "
+                "stream, so replays would see stale data. Create inputs "
+                "outside the trace and pass them as arguments (or use "
+                "via='isa' writes); read results back after the call."
+            )
+
     def execute(self, instr: Instruction):
-        """Run one macro-instruction through the driver."""
-        return self.driver.execute(instr)
+        """Run one macro-instruction on the backend (recorded when tracing)."""
+        self._check_open()
+        result = self.backend.execute(instr)
+        if self._trace is not None:
+            self._trace.record(instr)
+        return result
 
     def compile(self, instructions, name: str = "stream", optimize: bool = True):
         """Record macro-instructions into one replayable compiled program.
 
-        See :meth:`repro.driver.driver.Driver.compile`: the stream is
-        validated once and peephole-optimized (bit-identical memory state
-        in fewer cycles); replay it with :meth:`run_program`.
+        See :meth:`repro.backend.base.Backend.compile`: on the simulator
+        backend this is :meth:`repro.driver.driver.Driver.compile` (one
+        validated, optionally peephole-optimized ``MicroProgram``);
+        replay it with :meth:`run_program`.
         """
-        return self.driver.compile(instructions, name=name, optimize=optimize)
+        self._check_open()
+        return self.backend.compile(instructions, name=name, optimize=optimize)
 
     def run_program(self, program):
-        """Replay a compiled program on this chip's simulator."""
-        return self.driver.run_program(program)
+        """Replay a compiled program on this chip's backend."""
+        self._check_open()
+        return self.backend.run_program(program)
 
     def stats_snapshot(self) -> SimStats:
-        """Copy of the simulator's counters (for profiling diffs)."""
-        return self.simulator.stats.copy()
+        """Copy of the backend's counters (for profiling diffs)."""
+        return self.backend.stats_snapshot()
+
+    # ------------------------------------------------------------------
+    # Graph capture (see repro.pim.graph / repro.pim.compile)
+    # ------------------------------------------------------------------
+    def begin_trace(self, name: str = "trace"):
+        """Attach a :class:`~repro.pim.graph.TraceSession` to this device."""
+        from repro.pim.graph import TraceError, TraceSession
+
+        self._check_open()
+        if self._trace is not None:
+            raise TraceError("a trace is already active on this device")
+        self._trace = TraceSession(self, name)
+        return self._trace
+
+    def end_trace(self):
+        """Detach and freeze the active trace session."""
+        session = self._trace
+        self._trace = None
+        if session is not None:
+            session.close()
+        return session
 
     # ------------------------------------------------------------------
     # Element addressing
@@ -77,9 +168,11 @@ class PIMDevice:
         profiling counters), exactly like a DMA/initialization interface.
         Element-by-element ISA writes remain available via the tensor API.
         """
+        self._check_open()
+        self._check_not_tracing("bulk-load")
         raw = array_to_raw(np.asarray(values).reshape(-1), dtype)
         rows = self.rows
-        mem = self.simulator.memory.words
+        mem = self.backend.words
         for offset in range(0, raw.size, rows):
             warp = slot.warp_start + offset // rows
             chunk = raw[offset : offset + rows]
@@ -87,14 +180,42 @@ class PIMDevice:
 
     def dump_array(self, slot: Slot, length: int, dtype: DType) -> np.ndarray:
         """Read a slot's contents back to the host (correctness step (3))."""
+        self._check_open()
+        self._check_not_tracing("read back")
         rows = self.rows
-        mem = self.simulator.memory.words
+        mem = self.backend.words
         out = np.empty(length, dtype=np.uint32)
         for offset in range(0, length, rows):
             warp = slot.warp_start + offset // rows
             take = min(rows, length - offset)
             out[offset : offset + take] = mem[warp, slot.reg, :take].astype(np.uint32)
         return raw_to_array(out, dtype)
+
+    def read_raw(self, slot: Slot, length: int) -> np.ndarray:
+        """Snapshot a slot's raw words (DMA-style, uncounted)."""
+        self._check_open()
+        rows = self.rows
+        mem = self.backend.words
+        out = np.empty(length, dtype=mem.dtype)
+        for offset in range(0, length, rows):
+            take = min(rows, length - offset)
+            warp = slot.warp_start + offset // rows
+            out[offset : offset + take] = mem[warp, slot.reg, :take]
+        return out
+
+    def write_raw(self, slot: Slot, raw: np.ndarray) -> None:
+        """Write raw words into a slot (DMA-style, uncounted).
+
+        With :meth:`read_raw`, this is how the compiled-graph replay path
+        marshals fresh input data into the captured argument registers.
+        """
+        self._check_open()
+        rows = self.rows
+        mem = self.backend.words
+        for offset in range(0, raw.size, rows):
+            take = min(rows, raw.size - offset)
+            warp = slot.warp_start + offset // rows
+            mem[warp, slot.reg, :take] = raw[offset : offset + take]
 
     # ------------------------------------------------------------------
     # Mask segmentation over element ranges
@@ -150,16 +271,37 @@ class PIMDevice:
 _default_device: Optional[PIMDevice] = None
 
 
-def init(config: Optional[PIMConfig] = None, **kwargs) -> PIMDevice:
+def init(
+    config: Optional[PIMConfig] = None,
+    backend: Union[str, Backend, type, None] = None,
+    **kwargs,
+) -> PIMDevice:
     """Create (or replace) the default device, e.g. ``pim.init(PIMConfig())``.
 
-    Keyword arguments construct a :class:`PIMConfig` directly:
-    ``pim.init(crossbars=4, rows=64)``.
+    Keyword arguments matching :class:`~repro.arch.config.PIMConfig`
+    fields construct a config directly (``pim.init(crossbars=4, rows=64)``);
+    the rest are forwarded to the backend (e.g. ``parallelism="serial"``,
+    ``cache_size=0``, ``move_cost="htree"``). ``backend`` selects the
+    execution engine: ``"simulator"`` (default, bit-accurate) or
+    ``"numpy"`` (fast functional model, same cycle accounting).
+
+    The previous default device (if any) is closed: tensors allocated on
+    it raise a clear error instead of touching stale state.
     """
     global _default_device
-    if config is None and kwargs:
-        config = PIMConfig(**kwargs)
-    _default_device = PIMDevice(config)
+    config_fields = set(PIMConfig.__dataclass_fields__)
+    config_kwargs = {k: v for k, v in kwargs.items() if k in config_fields}
+    backend_kwargs = {k: v for k, v in kwargs.items() if k not in config_fields}
+    if config is None and config_kwargs:
+        config = PIMConfig(**config_kwargs)
+    elif config_kwargs:
+        raise TypeError("pass either a PIMConfig or config keyword arguments")
+    # Build the replacement first: a failed init (bad backend name, bad
+    # config) must not invalidate the still-working previous default.
+    device = PIMDevice(config, backend=backend, **backend_kwargs)
+    if _default_device is not None:
+        _default_device.close()
+    _default_device = device
     return _default_device
 
 
@@ -172,6 +314,14 @@ def default_device() -> PIMDevice:
 
 
 def reset() -> None:
-    """Drop the default device (tests use this for isolation)."""
+    """Close and drop the default device (tests use this for isolation).
+
+    Outstanding tensors are invalidated explicitly: their ``device``
+    back-reference starts raising ``RuntimeError`` and their destructors
+    become no-ops, so nothing can free into (or write through) a stale
+    allocator.
+    """
     global _default_device
+    if _default_device is not None:
+        _default_device.close()
     _default_device = None

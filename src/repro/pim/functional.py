@@ -103,20 +103,29 @@ def arange(length: int, dtype=int32, device: Optional[PIMDevice] = None) -> Tens
 def where(cond: TensorLike, if_true, if_false):
     """Elementwise select: ``if_true`` where ``cond`` is nonzero.
 
-    ``cond`` is an int32 0/1 tensor (as produced by comparisons); the value
-    operands may be tensors, views, or scalars.
+    ``cond`` is an int32 0/1 tensor or view (as produced by comparisons);
+    the value operands may be tensors, views, or scalars. With two scalar
+    values the result dtype is inferred from them (float32 if either is a
+    float, int32 otherwise) and both are broadcast against the condition.
     """
-    from repro.pim.tensor import _broadcast_scalar, _is_tensor
+    from repro.pim.tensor import _broadcast_scalar, _is_tensor, _node
 
     if not _is_tensor(cond):
         raise TypeError("where() condition must be a tensor")
-    ref = if_true if _is_tensor(if_true) else if_false
-    if not _is_tensor(ref):
-        raise TypeError("where() needs at least one tensor value operand")
-    if not _is_tensor(if_true):
-        if_true = _broadcast_scalar(if_true, ref)
-    if not _is_tensor(if_false):
-        if_false = _broadcast_scalar(if_false, ref)
-    if if_true.dtype.name != if_false.dtype.name:
-        raise TypeError("where() value operands must share a dtype")
-    return _nary(ROp.MUX, [cond, if_true, if_false], if_true.dtype)
+    with _node(cond.device, "where", length=cond.length):
+        if not _is_tensor(if_true) and not _is_tensor(if_false):
+            floatish = (float, np.floating)
+            dtype = (
+                float32
+                if isinstance(if_true, floatish) or isinstance(if_false, floatish)
+                else int32
+            )
+            if_true = _broadcast_scalar(if_true, cond, dtype=dtype)
+            if_false = _broadcast_scalar(if_false, cond, dtype=dtype)
+        elif not _is_tensor(if_true):
+            if_true = _broadcast_scalar(if_true, if_false)
+        elif not _is_tensor(if_false):
+            if_false = _broadcast_scalar(if_false, if_true)
+        if if_true.dtype.name != if_false.dtype.name:
+            raise TypeError("where() value operands must share a dtype")
+        return _nary(ROp.MUX, [cond, if_true, if_false], if_true.dtype)

@@ -1,0 +1,278 @@
+"""The tensor-level graph IR behind ``pim.compile`` / ``pim.trace``.
+
+Tracing runs a user function once with its real tensor arguments while a
+:class:`TraceSession` is attached to the device. Two things are recorded
+simultaneously:
+
+- a **tensor-level graph** (:class:`Graph` of :class:`GraphNode`s): one
+  node per library operation — elementwise op, ``where``, reduction,
+  sort, constant broadcast, bulk move, scalar read/write, view — for
+  introspection (``graph.summary()``) and cache identity;
+- the exact **macro-instruction stream** those operations lowered to,
+  which is what :meth:`TraceSession.lower` compiles through the device
+  backend into one fused replayable program.
+
+Because the capture executes for real, anything data-dependent works
+during the traced call itself — but a value read from PIM memory during
+tracing is returned as a :class:`ScalarRef` (a deferred scalar), and
+*using* it to steer further computation raises :class:`TraceError`: the
+replay could not reproduce a stream that depended on input data. Reads
+whose values are only *returned* (the ``z[::2].sum()`` pattern) are
+re-resolved on every replay.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Instruction, ReadInstr
+
+
+class TraceError(RuntimeError):
+    """Raised when a traced function does something replay cannot repeat."""
+
+
+@dataclass
+class GraphNode:
+    """One tensor-level operation recorded during tracing."""
+
+    index: int
+    kind: str
+    span: Tuple[int, int]  #: half-open range into ``Graph.instructions``
+    depth: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def instructions(self) -> int:
+        """Number of macro-instructions this node lowered to (own span)."""
+        return self.span[1] - self.span[0]
+
+    def __repr__(self) -> str:
+        extra = "".join(
+            f" {key}={value!r}" for key, value in sorted(self.meta.items())
+        )
+        return (
+            f"GraphNode({self.index}, {self.kind!r}, instrs="
+            f"{self.instructions}{extra})"
+        )
+
+
+class Graph:
+    """A captured tensor program: nodes plus their lowered instructions."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: List[GraphNode] = []
+        self.instructions: List[Instruction] = []
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def summary(self) -> str:
+        """Human-readable capture report (indented by nesting depth)."""
+        lines = [
+            f"graph {self.name!r}: {len(self.nodes)} nodes, "
+            f"{len(self.instructions)} macro-instructions"
+        ]
+        for node in self.nodes:
+            meta = " ".join(
+                f"{key}={value}" for key, value in sorted(node.meta.items())
+            )
+            lines.append(
+                f"  {'  ' * node.depth}{node.kind:<12} "
+                f"[{node.instructions:>4} instrs] {meta}".rstrip()
+            )
+        return "\n".join(lines)
+
+
+class ScalarRef:
+    """A scalar read from PIM memory during tracing (deferred value).
+
+    Carries the concrete value observed at capture time (returned by the
+    first call) and the index of its read in the trace, so replays can
+    re-resolve it. Converting it to a Python number *inside* the traced
+    function raises :class:`TraceError` — that would bake a trace-time
+    value into the compiled stream as a constant.
+    """
+
+    __slots__ = ("instr", "dtype", "value", "read_index", "_session")
+
+    def __init__(
+        self,
+        instr: ReadInstr,
+        dtype: DType,
+        value,
+        read_index: int,
+        session: "TraceSession",
+    ):
+        self.instr = instr
+        self.dtype = dtype
+        self.value = value
+        self.read_index = read_index
+        self._session = session
+
+    def _blocked(self, what: str):
+        if self._session.active:
+            raise TraceError(
+                f"cannot {what} a PIM scalar inside a traced function: the "
+                "compiled program would bake the trace-time value "
+                f"({self.value!r}) in as a constant. Read scalars after the "
+                "traced call, or return them from the function."
+            )
+        return self.value
+
+    def __float__(self) -> float:
+        return float(self._blocked("convert"))
+
+    def __int__(self) -> int:
+        return int(self._blocked("convert"))
+
+    def __index__(self) -> int:
+        return int(self._blocked("index with"))
+
+    def __bool__(self) -> bool:
+        return bool(self._blocked("branch on"))
+
+    # Comparisons would otherwise fall back to object identity and let a
+    # traced function silently bake the wrong branch into the program.
+    def __eq__(self, other):
+        return self._blocked("compare") == other
+
+    def __ne__(self, other):
+        return self._blocked("compare") != other
+
+    def __lt__(self, other):
+        return self._blocked("compare") < other
+
+    def __le__(self, other):
+        return self._blocked("compare") <= other
+
+    def __gt__(self, other):
+        return self._blocked("compare") > other
+
+    def __ge__(self, other):
+        return self._blocked("compare") >= other
+
+    __hash__ = None  # mutable-by-resolution; not a dict key
+
+    def __repr__(self) -> str:
+        return f"ScalarRef({self.value!r}, read={self.read_index})"
+
+
+class TraceSession:
+    """A live capture attached to a device by ``device.begin_trace()``.
+
+    While attached, :meth:`record` receives every successfully executed
+    macro-instruction, tensor constructors :meth:`track` their cell
+    placements (so the compiled graph can reserve them for replays), and
+    the tensor library opens :meth:`node` scopes around its operations.
+    """
+
+    def __init__(self, device, name: str = "trace"):
+        self.device = device
+        self.graph = Graph(name)
+        #: Every (register, warp) cell allocated during the trace. The
+        #: replayed stream writes into these cells, so the compiled graph
+        #: reserves whichever of them the allocator would otherwise hand
+        #: out again (tensors free normally *during* capture, keeping the
+        #: instruction stream — and the memory image — identical to eager
+        #: execution).
+        self.cells: set = set()
+        self.reads: List[ReadInstr] = []
+        self.active = True
+        self._depth = 0
+
+    # -- hooks called by the device / tensor layer ----------------------
+    def record(self, instr: Instruction) -> None:
+        self.graph.instructions.append(instr)
+        if isinstance(instr, ReadInstr):
+            self.reads.append(instr)
+
+    def track(self, tensor) -> None:
+        """Register a tensor allocated during the trace (records its cells)."""
+        slot = tensor.slot
+        self.cells.update(
+            (slot.reg, warp) for warp in range(slot.warp_start, slot.warp_stop)
+        )
+
+    @contextmanager
+    def node(self, kind: str, **meta):
+        """Open a graph-node scope; instructions recorded inside belong
+        to it (nested scopes record their own nodes at greater depth)."""
+        start = len(self.graph.instructions)
+        depth = self._depth
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self.graph.nodes.append(
+                GraphNode(
+                    index=len(self.graph.nodes),
+                    kind=kind,
+                    span=(start, len(self.graph.instructions)),
+                    depth=depth,
+                    meta=meta,
+                )
+            )
+
+    def note(self, kind: str, **meta) -> None:
+        """Record an instruction-free node (e.g. a view creation)."""
+        here = len(self.graph.instructions)
+        self.graph.nodes.append(
+            GraphNode(
+                index=len(self.graph.nodes),
+                kind=kind,
+                span=(here, here),
+                depth=self._depth,
+                meta=meta,
+            )
+        )
+
+    def wrap_scalar(self, instr: ReadInstr, dtype: DType, value) -> ScalarRef:
+        """Wrap the value of the most recently recorded read."""
+        return ScalarRef(instr, dtype, value, len(self.reads) - 1, self)
+
+    # -- finalization ---------------------------------------------------
+    def close(self) -> None:
+        self.active = False
+
+    def lower(self, optimize: bool = False, keep_reads: bool = True):
+        """Compile the captured instruction stream through the backend.
+
+        Returns the backend's program handle (a ``MicroProgram`` on the
+        simulator backend). With ``keep_reads=False`` the scalar reads
+        are left out — the protocol ``pim.compile`` uses, re-issuing them
+        after each replay so every deferred scalar stays retrievable.
+        """
+        instructions = self.graph.instructions
+        if not keep_reads:
+            instructions = [
+                instr
+                for instr in instructions
+                if not isinstance(instr, ReadInstr)
+            ]
+        return self.device.backend.compile(
+            instructions, name=self.graph.name, optimize=optimize
+        )
+
+
+@contextmanager
+def trace(device=None, name: str = "trace"):
+    """Context-manager capture: ``with pim.trace() as session:``.
+
+    Runs the block eagerly while recording; afterwards ``session.graph``
+    holds the tensor-level IR and ``session.lower()`` compiles the
+    captured stream into one fused program for the active backend.
+    """
+    from repro.pim.device import default_device
+
+    device = device or default_device()
+    session = device.begin_trace(name)
+    try:
+        yield session
+    finally:
+        device.end_trace()

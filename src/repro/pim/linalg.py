@@ -9,6 +9,15 @@ instructions — full row-parallelism, no data leaves the memory.
 :class:`Matrix` stores an (m, n) matrix column-major: each column is one
 PIM tensor of length m, all allocated over the same warp range so every
 update is a single aligned vector instruction.
+
+Everything here targets the device's execution-backend protocol
+(:mod:`repro.backend`), so matrices run unchanged on the bit-accurate
+simulator or the fast NumPy backend. Inside a ``pim.compile`` trace,
+:meth:`Matrix.matvec` with a *PIM-tensor* vector raises
+:class:`~repro.pim.graph.TraceError` (it reads the vector back
+element-by-element, which a replayed stream cannot depend on); host
+sequences and scalars trace fine because they are baked in as
+constants.
 """
 
 from __future__ import annotations

@@ -124,6 +124,33 @@ class Allocator:
         for warp in range(slot.warp_start, slot.warp_stop):
             self._occupied[slot.reg].discard(warp)
 
+    # ------------------------------------------------------------------
+    # Cell-level reservation (the compiled-graph working set)
+    # ------------------------------------------------------------------
+    def reserve_cells(self, cells) -> List[tuple]:
+        """Mark free ``(reg, warp)`` cells occupied; returns those claimed.
+
+        A captured graph's replay stream writes into every cell its trace
+        allocated, including cells whose tensors were freed before the
+        capture finished — this keeps later allocations out of them.
+        Cells already occupied (by live tensors) are skipped.
+        """
+        claimed = []
+        for reg, warp in cells:
+            occupied = self._occupied.get(reg)
+            if occupied is None or warp in occupied:
+                continue
+            occupied.add(warp)
+            claimed.append((reg, warp))
+        return claimed
+
+    def release_cells(self, cells) -> None:
+        """Return cells claimed by :meth:`reserve_cells` to the free pool."""
+        for reg, warp in cells:
+            occupied = self._occupied.get(reg)
+            if occupied is not None:
+                occupied.discard(warp)
+
     @property
     def live_slots(self) -> int:
         """Number of currently allocated slots (for tests/leak checks)."""

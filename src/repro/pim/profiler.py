@@ -29,9 +29,10 @@ class Profiler:
         self.stats: Optional[SimStats] = None
         self._before: Optional[SimStats] = None
         self._cache_before: Optional[tuple] = None
-        #: Program-cache hits/misses of the host driver inside the block
-        #: (how often macro-instructions replayed a compiled stream versus
-        #: paying full lowering; see ``repro.driver.program``).
+        #: Compiled-stream cache hits/misses of the backend inside the
+        #: block (how often macro-instructions replayed a compiled stream
+        #: versus paying full lowering; see ``repro.driver.program`` and
+        #: ``repro.backend``).
         self.cache_hits: int = 0
         self.cache_misses: int = 0
 
@@ -41,15 +42,14 @@ class Profiler:
 
     def __enter__(self) -> "Profiler":
         self._before = self.device.stats_snapshot()
-        programs = self.device.driver.programs
-        self._cache_before = (programs.hits, programs.misses)
+        self._cache_before = self.device.backend.cache_counters()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.stats = self.device.simulator.stats.diff(self._before)
-        programs = self.device.driver.programs
-        self.cache_hits = programs.hits - self._cache_before[0]
-        self.cache_misses = programs.misses - self._cache_before[1]
+        self.stats = self.device.backend.stats.diff(self._before)
+        hits, misses = self.device.backend.cache_counters()
+        self.cache_hits = hits - self._cache_before[0]
+        self.cache_misses = misses - self._cache_before[1]
         if self.echo and exc_type is None:
             print(self.stats.summary())
             print(

@@ -27,7 +27,7 @@ import numpy as np
 from repro.arch.masks import RangeMask
 from repro.isa.dtypes import float32, int32, value_to_raw
 from repro.isa.instructions import RInstr, ROp, WriteInstr
-from repro.pim.tensor import Tensor, TensorLike, TensorView, _bulk_move
+from repro.pim.tensor import Tensor, TensorLike, TensorView, _bulk_move, _node
 
 #: Number of CORDIC rotation iterations (enough for float32 precision).
 CORDIC_ITERATIONS = 24
@@ -47,6 +47,11 @@ def reduce(operand: TensorLike, op: ROp = ROp.ADD):
     if n == 1:
         return operand[0]
     device, dtype = operand.device, operand.dtype
+    with _node(device, "reduce", op=op.value, length=n):
+        return _reduce_lowered(operand, op, device, dtype, n)
+
+
+def _reduce_lowered(operand: TensorLike, op: ROp, device, dtype, n: int):
     slots = device.allocator.allocate_group(n, 2)
     work = Tensor._from_slot(device, slots[0], n, dtype)
     scratch = Tensor._from_slot(device, slots[1], n, dtype)
@@ -148,6 +153,11 @@ def sort(operand: TensorLike) -> Tensor:
         _bulk_move(device, operand._base.slot, operand._mask.indices(),
                    result.slot, range(1))
         return result
+    with _node(device, "sort", length=n):
+        return _sort_lowered(operand, device, dtype, n)
+
+
+def _sort_lowered(operand: TensorLike, device, dtype, n: int) -> Tensor:
     padded = 1 << (n - 1).bit_length()
 
     slots = device.allocator.allocate_group(padded, 6)

@@ -17,6 +17,7 @@ of Section V-A).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -36,6 +37,14 @@ from repro.pim.malloc import Slot
 Scalar = Union[int, float, np.integer, np.floating]
 
 
+def _node(device: PIMDevice, kind: str, **meta):
+    """Graph-node scope when the device is tracing, else a no-op."""
+    trace = device._trace
+    if trace is None:
+        return nullcontext()
+    return trace.node(kind, **meta)
+
+
 class Tensor:
     """A 1-D PIM tensor (one register index across a warp range)."""
 
@@ -46,35 +55,59 @@ class Tensor:
         dtype: DType,
         reference: Optional[Slot] = None,
     ):
-        self.device = device
+        self._device = device
         self.length = length
         self.dtype = dtype
         self.slot = device.allocator.allocate(length, reference=reference)
+        if device._trace is not None:
+            device._trace.track(self)
 
     @classmethod
     def _from_slot(cls, device: PIMDevice, slot: Slot, length: int, dtype: DType):
         """Wrap a pre-allocated slot (used by group-aligned staging)."""
         tensor = cls.__new__(cls)
-        tensor.device = device
+        tensor._device = device
         tensor.length = length
         tensor.dtype = dtype
         tensor.slot = slot
+        if device._trace is not None:
+            device._trace.track(tensor)
         return tensor
 
     # ------------------------------------------------------------------
     # Lifecycle / basics
     # ------------------------------------------------------------------
+    @property
+    def device(self) -> PIMDevice:
+        """The owning device; raises after ``pim.reset()`` closed it."""
+        device = self._device
+        if device is None or device.closed:
+            raise RuntimeError(
+                "this Tensor's device has been reset (pim.reset()); "
+                "reallocate the tensor on the new device"
+            )
+        return device
+
     def __del__(self):
         try:
-            if self.slot is not None:
-                self.device.allocator.free(self.slot)
+            device = self._device
+            if (
+                device is not None
+                and not device.closed
+                and self.slot is not None
+            ):
+                device.allocator.free(self.slot)
         except Exception:  # interpreter teardown
             pass
 
     def _release(self) -> None:
         """Free the backing slot early (internal staging helper)."""
+        device = self._device
+        if device is None or device.closed:
+            self.slot = None
+            return
         if self.slot is not None:
-            self.device.allocator.free(self.slot)
+            device.allocator.free(self.slot)
             self.slot = None
 
     def __len__(self) -> int:
@@ -103,27 +136,42 @@ class Tensor:
     # ------------------------------------------------------------------
     def __getitem__(self, key):
         if isinstance(key, slice):
-            return TensorView(self, RangeMask.from_slice(key, self.length))
+            view = TensorView(self, RangeMask.from_slice(key, self.length))
+            trace = self.device._trace
+            if trace is not None:
+                trace.note("view", slice=key, length=view.length)
+            return view
         index = self._check_index(key)
-        warp, thread = self.device.locate(self.slot, index)
-        raw = self.device.execute(ReadInstr(warp, thread, self.slot.reg))
+        device = self.device
+        warp, thread = device.locate(self.slot, index)
+        instr = ReadInstr(warp, thread, self.slot.reg)
+        trace = device._trace
+        if trace is not None:
+            with trace.node("read", index=index):
+                raw = device.execute(instr)
+            # Defer the scalar: replays re-read it from the fresh result.
+            return trace.wrap_scalar(instr, self.dtype, raw_to_value(raw, self.dtype))
+        raw = device.execute(instr)
         return raw_to_value(raw, self.dtype)
 
     def __setitem__(self, key, value) -> None:
         if isinstance(key, slice):
             mask = RangeMask.from_slice(key, self.length)
-            _masked_fill(self, mask, value)
+            with _node(self.device, "write", slice=key):
+                _masked_fill(self, mask, value)
             return
         index = self._check_index(key)
-        warp, thread = self.device.locate(self.slot, index)
-        self.device.execute(
-            WriteInstr(
-                self.slot.reg,
-                value_to_raw(value, self.dtype),
-                RangeMask.single(warp),
-                RangeMask.single(thread),
+        device = self.device
+        warp, thread = device.locate(self.slot, index)
+        with _node(device, "write", index=index):
+            device.execute(
+                WriteInstr(
+                    self.slot.reg,
+                    value_to_raw(value, self.dtype),
+                    RangeMask.single(warp),
+                    RangeMask.single(thread),
+                )
             )
-        )
 
     def _check_index(self, key) -> int:
         index = int(key)
@@ -368,13 +416,16 @@ def _is_tensor(x) -> bool:
     return isinstance(x, (Tensor, TensorView))
 
 
-def _broadcast_scalar(value: Scalar, ref: TensorLike) -> TensorView:
+def _broadcast_scalar(
+    value: Scalar, ref: TensorLike, dtype: Optional[DType] = None
+) -> TensorView:
     """Materialize a scalar aligned with ``ref`` (masked constant writes)."""
-    device, dtype = ref.device, ref.dtype
-    base = Tensor(device, ref._base.length, dtype, reference=ref._base.slot)
-    raw = value_to_raw(value, dtype)
-    for warp_mask, row_mask in device.segments(base.slot, ref._mask):
-        device.execute(WriteInstr(base.slot.reg, raw, warp_mask, row_mask))
+    device, dtype = ref.device, dtype or ref.dtype
+    with _node(device, "constant", value=value):
+        base = Tensor(device, ref._base.length, dtype, reference=ref._base.slot)
+        raw = value_to_raw(value, dtype)
+        for warp_mask, row_mask in device.segments(base.slot, ref._mask):
+            device.execute(WriteInstr(base.slot.reg, raw, warp_mask, row_mask))
     return TensorView(base, ref._mask)
 
 
@@ -449,6 +500,13 @@ def _nary(op: ROp, operands: List[TensorLike], result_dtype: DType):
     segment. Otherwise every operand is staged (move instructions) into a
     group allocation that *guarantees* a common warp range.
     """
+    device = operands[0].device
+    with _node(device, op.value, length=operands[0].length,
+               dtype=result_dtype.name):
+        return _nary_lowered(op, operands, result_dtype)
+
+
+def _nary_lowered(op: ROp, operands: List[TensorLike], result_dtype: DType):
     device = operands[0].device
     dtype = operands[0].dtype
     if _aligned(operands):
@@ -560,6 +618,17 @@ def _bulk_move(
     moves, a power of four for inter-warp moves), and every run becomes a
     single warp-parallel move instruction.
     """
+    with _node(device, "move"):
+        _bulk_move_lowered(device, src_slot, src_elements, dst_slot, dst_elements)
+
+
+def _bulk_move_lowered(
+    device: PIMDevice,
+    src_slot: Slot,
+    src_elements,
+    dst_slot: Slot,
+    dst_elements,
+) -> None:
     rows = device.rows
     groups = {}
     for src_e, dst_e in zip(src_elements, dst_elements):

@@ -69,6 +69,96 @@ def _pattern_mask(
     return mask, len(gates)
 
 
+def accounting_walk(
+    ops: Iterable[MicroOp],
+    config: PIMConfig,
+    move_cost: str = "unit",
+    xb: Optional[RangeMask] = None,
+    row: Optional[RangeMask] = None,
+    strict: bool = True,
+) -> Optional[SimStats]:
+    """Charge a micro-op stream with the chip's accounting rules, statically.
+
+    This is the single source of truth for how replayed streams are
+    billed: mask state is tracked as the chip would track it, horizontal
+    gates scale with the active rows, and move patterns are validated
+    against the H-tree restrictions. Two callers share it:
+
+    - the NumPy functional backend (``strict=True``, initial masks set to
+      all): invalid ops raise :class:`SimulationError`, exactly like live
+      execution;
+    - the simulator's static replay-plan accounting (``strict=False``,
+      initial masks unknown): any op whose accounting or validity depends
+      on masks the stream did not establish first returns ``None``,
+      signalling that the caller must fall back to dynamic per-op
+      accounting.
+    """
+    delta = SimStats()
+    for op in ops:
+        if isinstance(op, LogicHOp):
+            if xb is None or row is None:
+                if strict:
+                    raise SimulationError("logic op executed before masks set")
+                return None
+            _, gate_count = _pattern_mask(
+                op.gate, op.p_a, op.p_b, op.p_out, op.p_end, op.p_step,
+                config.partitions,
+            )
+            delta.record(
+                _GATE_KEYS_H[op.gate], gates=gate_count * len(xb) * len(row)
+            )
+        elif isinstance(op, CrossbarMaskOp):
+            if op.stop >= config.crossbars:
+                if strict:
+                    raise SimulationError("crossbar mask out of range")
+                return None
+            xb = RangeMask(op.start, op.stop, op.step)
+            delta.record("mask_crossbar")
+        elif isinstance(op, RowMaskOp):
+            if op.stop >= config.rows:
+                if strict:
+                    raise SimulationError("row mask out of range")
+                return None
+            row = RangeMask(op.start, op.stop, op.step)
+            delta.record("mask_row")
+        elif isinstance(op, LogicVOp):
+            if xb is None:
+                if strict:
+                    raise SimulationError("logic op executed before masks set")
+                return None
+            delta.record(_GATE_KEYS_V[op.gate], gates=config.partitions * len(xb))
+        elif isinstance(op, MoveOp):
+            if xb is None:
+                if strict:
+                    raise SimulationError("move executed before masks set")
+                return None
+            try:
+                validate_move_pattern(xb, op.dist, config.crossbars)
+            except ValueError as exc:
+                if strict:
+                    raise SimulationError(str(exc)) from exc
+                return None
+            if move_cost == "htree":
+                cycles = max(1, move_cycles(xb, op.dist, config.crossbars))
+                delta.htree_hop_cycles += cycles - 1
+            else:
+                cycles = 1
+            delta.record("move", cycles=cycles)
+        elif isinstance(op, ReadOp):
+            if not strict and (
+                xb is None or row is None or len(xb) != 1 or len(row) != 1
+            ):
+                return None
+            delta.record("read")
+        elif isinstance(op, WriteOp):
+            delta.record("write")
+        else:
+            if strict:
+                raise SimulationError(f"unknown micro-operation {op!r}")
+            return None
+    return delta
+
+
 class Simulator:
     """A bit-accurate digital PIM chip model.
 
@@ -138,19 +228,23 @@ class Simulator:
         if plan is None:
             plan = self._compile_plan(program)
             self._plans[program] = plan
-        steps, region_cache = plan
+        steps, region_cache, static_stats = plan
         # Views cached during an earlier replay may belong to different
         # masks set in between; start every replay from a clean slate.
         region_cache.clear()
         if program.reads == 0:
             for step in steps:
                 step()
+            if static_stats is not None:
+                self.stats.merge(static_stats)
             return None
         response: Optional[int] = None
         for step in steps:
             result = step()
             if result is not None:
                 response = result
+        if static_stats is not None:
+            self.stats.merge(static_stats)
         return response
 
     # ------------------------------------------------------------------
@@ -169,19 +263,57 @@ class Simulator:
         # plan's steps share this memo (cleared on every mask step and at
         # replay start) so a long gate body builds each view only once.
         region_cache: dict = {}
-        steps = [self._plan_step(op, region_cache) for op in program.ops]
-        return steps, region_cache
+        # A *self-masked* program (every stats-mask-dependent op runs
+        # under masks the program itself set — true for fused graph
+        # streams) has a statically known stats delta: record it once at
+        # plan time, build silent steps, and merge the delta per replay
+        # instead of paying a counter update per micro-op.
+        static_stats = self._static_stats(program)
+        if static_stats is not None:
+            steps = [
+                self._plan_step(op, region_cache, silent=True)
+                for op in program.ops
+            ]
+        else:
+            steps = [self._plan_step(op, region_cache) for op in program.ops]
+        return steps, region_cache, static_stats
+
+    def _static_stats(self, program) -> Optional[SimStats]:
+        """The per-replay stats delta, when it is mask-independent.
+
+        Delegates to :func:`accounting_walk` in lenient mode: ``None``
+        (dynamic accounting required) when any gate/move executes under a
+        mask the program did not establish first — e.g. the driver's
+        per-R-type body programs, which run under caller-set masks — or
+        when a move pattern would fail validation (the live path must
+        raise).
+        """
+        return accounting_walk(
+            program.ops, self.config, self.move_cost, strict=False
+        )
 
     def _plan_step(
-        self, op: MicroOp, region_cache: dict
+        self, op: MicroOp, region_cache: dict, silent: bool = False
     ) -> Callable[[], Optional[int]]:
-        """One-time dispatch of an op into a pre-resolved replay thunk."""
+        """One-time dispatch of an op into a pre-resolved replay thunk.
+
+        ``silent`` steps skip per-op counter updates and runtime checks —
+        used only for self-masked programs whose stats delta and move/read
+        validity were established statically by :meth:`_static_stats`.
+        """
         if isinstance(op, LogicHOp):
-            return self._plan_logic_h(op, region_cache)
+            return self._plan_logic_h(op, region_cache, silent=silent)
         if isinstance(op, CrossbarMaskOp):
             if op.stop >= self.config.crossbars:
                 raise SimulationError("crossbar mask out of range")
             mask = RangeMask(op.start, op.stop, op.step)
+            if silent:
+
+                def set_xb_silent(self=self, mask=mask):
+                    self._xb_mask = mask
+                    region_cache.clear()
+
+                return set_xb_silent
 
             def set_xb_mask(self=self, mask=mask):
                 self._xb_mask = mask
@@ -193,6 +325,13 @@ class Simulator:
             if op.stop >= self.config.rows:
                 raise SimulationError("row mask out of range")
             mask = RangeMask(op.start, op.stop, op.step)
+            if silent:
+
+                def set_row_silent(self=self, mask=mask):
+                    self._row_mask = mask
+                    region_cache.clear()
+
+                return set_row_silent
 
             def set_row_mask(self=self, mask=mask):
                 self._row_mask = mask
@@ -203,16 +342,53 @@ class Simulator:
         # Reads and moves keep their mask-state-dependent runtime checks;
         # writes and vertical logic are cheap enough to reuse directly.
         if isinstance(op, (ReadOp, WriteOp, LogicVOp, MoveOp)):
-            handler = {
-                ReadOp: self._exec_read,
-                WriteOp: self._exec_write,
-                LogicVOp: self._exec_logic_v,
-                MoveOp: self._exec_move,
-            }[type(op)]
+            if silent:
+                handler = {
+                    ReadOp: self._exec_read_silent,
+                    WriteOp: self._exec_write_silent,
+                    LogicVOp: self._exec_logic_v_silent,
+                    MoveOp: self._exec_move_silent,
+                }[type(op)]
+            else:
+                handler = {
+                    ReadOp: self._exec_read,
+                    WriteOp: self._exec_write,
+                    LogicVOp: self._exec_logic_v,
+                    MoveOp: self._exec_move,
+                }[type(op)]
             return partial(handler, op)
         raise SimulationError(f"unknown micro-operation {op!r}")
 
-    def _plan_logic_h(self, op: LogicHOp, region_cache: dict) -> Callable[[], None]:
+    # -- silent step bodies (statically validated and accounted) --------
+    def _exec_read_silent(self, op: ReadOp) -> int:
+        return self.memory.get_word(
+            self._xb_mask.start, self._row_mask.start, op.index
+        )
+
+    def _exec_write_silent(self, op: WriteOp) -> None:
+        self._reg_region(op.index)[...] = self.memory.dtype.type(op.value)
+
+    def _exec_logic_v_silent(self, op: LogicVOp) -> None:
+        xm = self._xb_mask
+        column = self.memory.words[
+            xm.start : xm.stop + 1 : xm.step, op.index, :
+        ]
+        if op.gate == GateType.INIT1:
+            column[:, op.out_row] = self.memory.word_mask
+        elif op.gate == GateType.INIT0:
+            column[:, op.out_row] = 0
+        else:  # NOT
+            column[:, op.out_row] &= ~column[:, op.in_row]
+
+    def _exec_move_silent(self, op: MoveOp) -> None:
+        sources = np.fromiter(self._xb_mask.indices(), dtype=np.int64)
+        self.memory.words[sources + op.dist, op.dst_index, op.dst_row] = (
+            self.memory.words[sources, op.src_index, op.src_row]
+        )
+
+    def _plan_logic_h(
+        self, op: LogicHOp, region_cache: dict, silent: bool = False
+    ) -> Callable[[], None]:
         """Pre-resolve a horizontal logic op: pattern mask, shifts, key."""
         cfg = self.config
         for index in (op.in_a, op.in_b, op.out):
@@ -237,17 +413,32 @@ class Simulator:
             return view
 
         if op.gate == GateType.INIT1:
+            if silent:
+                def step():
+                    region(out).__ior__(out_mask)
+                return step
+
             def step():
                 region(out).__ior__(out_mask)
                 self.stats.record(key, gates=gate_count * self._active_rows())
             return step
         if op.gate == GateType.INIT0:
+            if silent:
+                def step():
+                    region(out).__iand__(inv_mask)
+                return step
+
             def step():
                 region(out).__iand__(inv_mask)
                 self.stats.record(key, gates=gate_count * self._active_rows())
             return step
         if op.gate == GateType.NOT:
             in_a, shift_a = op.in_a, op.p_out - op.p_a
+            if silent:
+                def step():
+                    pull = self._shift(region(in_a), shift_a)
+                    region(out).__iand__(~(pull & out_mask))
+                return step
 
             def step():
                 pull = self._shift(region(in_a), shift_a)
@@ -257,6 +448,12 @@ class Simulator:
         # NOR
         in_a, shift_a = op.in_a, op.p_out - op.p_a
         in_b, shift_b = op.in_b, op.p_out - op.p_b
+        if silent:
+            def step():
+                a = self._shift(region(in_a), shift_a)
+                b = self._shift(region(in_b), shift_b)
+                region(out).__iand__(~((a | b) & out_mask))
+            return step
 
         def step():
             a = self._shift(region(in_a), shift_a)

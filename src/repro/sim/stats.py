@@ -41,6 +41,14 @@ class SimStats:
             dict(self.op_counts), self.cycles, self.htree_hop_cycles, self.gates_executed
         )
 
+    def merge(self, delta: "SimStats") -> None:
+        """Accumulate another counter set (used by batched accounting)."""
+        for kind, count in delta.op_counts.items():
+            self.op_counts[kind] = self.op_counts.get(kind, 0) + count
+        self.cycles += delta.cycles
+        self.htree_hop_cycles += delta.htree_hop_cycles
+        self.gates_executed += delta.gates_executed
+
     def diff(self, earlier: "SimStats") -> "SimStats":
         """Counters accumulated since an earlier snapshot."""
         counts = {

@@ -1,0 +1,428 @@
+"""Tests for lazy graph capture: ``pim.compile`` / ``pim.trace``.
+
+The contract under test (see ``repro.pim.compile``): a compiled function
+is bit-identical to eager mode — same memory image, same cycle counters —
+on the bit-accurate backend, replays with fresh input data, caches per
+signature, and fails loudly on anything replay could not reproduce.
+"""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.driver.program import MicroProgram
+
+
+def fig12(a, b):
+    z = a * b + a
+    return z[::2].sum()
+
+
+def _setup(backend="simulator"):
+    device = pim.init(crossbars=4, rows=16, backend=backend)
+    x = pim.zeros(64, dtype=pim.float32)
+    y = pim.zeros(64, dtype=pim.float32)
+    x[4], y[4] = 8.0, 0.5
+    x[5], y[5] = 20.0, 1.0
+    x[8], y[8] = 10.0, 1.0
+    return device, x, y
+
+
+@pytest.fixture(autouse=True)
+def _cleanup():
+    yield
+    pim.reset()
+
+
+class TestCompiledVsEager:
+    def test_first_call_matches_eager(self):
+        device, x, y = _setup()
+        before = device.stats_snapshot()
+        eager = fig12(x, y)
+        eager_cycles = device.backend.stats.diff(before).cycles
+        eager_words = device.backend.words.copy()
+        pim.reset()
+
+        device, x, y = _setup()
+        func = pim.compile(fig12)
+        before = device.stats_snapshot()
+        result = func(x, y)
+        cycles = device.backend.stats.diff(before).cycles
+        assert result == eager
+        assert cycles == eager_cycles
+        assert np.array_equal(device.backend.words, eager_words)
+
+    def test_replay_is_cycle_exact_and_bit_identical(self):
+        device, x, y = _setup()
+        eager = fig12(x, y)
+        eager_delta = None
+        before = device.stats_snapshot()
+        fig12(x, y)
+        eager_delta = device.backend.stats.diff(before)
+        eager_words = device.backend.words.copy()
+        pim.reset()
+
+        device, x, y = _setup()
+        func = pim.compile(fig12)
+        assert func(x, y) == eager  # capture
+        before = device.stats_snapshot()
+        assert func(x, y) == eager  # replay
+        delta = device.backend.stats.diff(before)
+        assert delta.cycles == eager_delta.cycles
+        assert delta.op_counts == eager_delta.op_counts
+        assert delta.gates_executed == eager_delta.gates_executed
+        assert np.array_equal(device.backend.words, eager_words)
+        assert func.captures == 1
+
+    def test_replay_with_fresh_data(self):
+        _setup()
+        func = pim.compile(fig12)
+        x = pim.zeros(64, dtype=pim.float32)
+        y = pim.zeros(64, dtype=pim.float32)
+        x[2], y[2] = 4.0, 2.0
+        assert func(x, y) == 12.0  # capture: 4 * 2 + 4
+        x[2] = 6.0
+        assert func(x, y) == 18.0  # replay, same tensors, new data
+        x2 = pim.zeros(64, dtype=pim.float32)
+        y2 = pim.zeros(64, dtype=pim.float32)
+        x2[0], y2[0] = 1.0, 3.0
+        assert func(x2, y2) == 4.0  # replay, different tensors
+        assert func.captures == 1
+
+    def test_tensor_output_replays(self):
+        _setup()
+
+        @pim.compile
+        def scale(a):
+            return a * 2.0 + 1.0
+
+        x = pim.zeros(32, dtype=pim.float32)
+        x[3] = 5.0
+        out = scale(x)
+        assert out.to_numpy()[3] == 11.0
+        x[3] = 7.0
+        out = scale(x)
+        assert out.to_numpy()[3] == 15.0
+
+
+class TestOptimizedLowering:
+    def test_optimize_true_same_memory_fewer_cycles(self):
+        device, x, y = _setup()
+        expected = fig12(x, y)
+        before = device.stats_snapshot()
+        fig12(x, y)
+        eager_delta = device.backend.stats.diff(before)
+        eager_words = device.backend.words.copy()
+        pim.reset()
+
+        device, x, y = _setup()
+        func = pim.compile(fig12, optimize=True)
+        assert func(x, y) == expected  # capture (eager, full cycles)
+        before = device.stats_snapshot()
+        assert func(x, y) == expected  # optimized replay
+        delta = device.backend.stats.diff(before)
+        assert delta.cycles < eager_delta.cycles  # mask preambles coalesced
+        assert np.array_equal(device.backend.words, eager_words)
+
+
+class TestSignatureCache:
+    def test_new_length_recaptures(self):
+        _setup()
+        func = pim.compile(fig12)
+        x = pim.zeros(32, dtype=pim.float32)
+        y = pim.zeros(32, dtype=pim.float32)
+        func(x, y)
+        a = pim.zeros(16, dtype=pim.float32)
+        b = pim.zeros(16, dtype=pim.float32)
+        func(a, b)
+        assert func.captures == 2
+        assert func.cached_graphs == 2
+
+    def test_scalar_arguments_are_part_of_the_key(self):
+        _setup()
+
+        @pim.compile
+        def shift(a, k):
+            return a + k
+
+        x = pim.zeros(16, dtype=pim.float32)
+        x[0] = 1.0
+        assert shift(x, 2.0).to_numpy()[0] == 3.0
+        assert shift(x, 5.0).to_numpy()[0] == 6.0  # new constant, new graph
+        assert shift.captures == 2
+        assert shift(x, 2.0).to_numpy()[0] == 3.0  # cached replay
+        assert shift.captures == 2
+
+    def test_reset_invalidates_cached_graphs(self):
+        _setup()
+        func = pim.compile(fig12)
+        x = pim.zeros(64, dtype=pim.float32)
+        y = pim.zeros(64, dtype=pim.float32)
+        func(x, y)
+        pim.reset()
+        _, x, y = _setup()
+        func(x, y)
+        assert func.captures == 2
+
+    def test_dtype_is_part_of_the_key(self):
+        _setup()
+
+        @pim.compile
+        def double(a):
+            return a + a
+
+        xf = pim.zeros(16, dtype=pim.float32)
+        xi = pim.zeros(16, dtype=pim.int32)
+        double(xf)
+        double(xi)
+        assert double.captures == 2
+
+
+class TestReplayMarshalling:
+    def test_permuted_captured_tensors(self):
+        """Passing the captured tensors back in swapped positions must not
+        clobber one argument with the other mid-marshal."""
+        _setup()
+
+        @pim.compile
+        def sub(a, b):
+            return a - b
+
+        x = pim.zeros(16, dtype=pim.float32)
+        y = pim.zeros(16, dtype=pim.float32)
+        x[0], y[0] = 10.0, 3.0
+        assert sub(x, y).to_numpy()[0] == 7.0   # capture
+        assert sub(y, x).to_numpy()[0] == -7.0  # swapped replay
+        # The captured tensors keep their own data (marshalling restores).
+        assert x.to_numpy()[0] == 10.0
+        assert y.to_numpy()[0] == 3.0
+        assert sub(x, y).to_numpy()[0] == 7.0
+        assert sub.captures == 1
+
+
+    def test_duplicated_argument_aliasing_recaptures(self):
+        """f(x, x) binds both operands to one register; a later f(y, z)
+        must recapture (the aliasing pattern is part of the signature)."""
+        _setup()
+
+        @pim.compile
+        def add(a, b):
+            return a + b
+
+        x = pim.zeros(8, dtype=pim.float32)
+        y = pim.zeros(8, dtype=pim.float32)
+        z = pim.zeros(8, dtype=pim.float32)
+        x[0], y[0], z[0] = 50.0, 10.0, 100.0
+        assert add(x, x).to_numpy()[0] == 100.0   # capture with aliasing
+        assert add(y, z).to_numpy()[0] == 110.0   # distinct args: recapture
+        assert add(x, x).to_numpy()[0] == 100.0   # aliased replay still cached
+        assert add.captures == 2
+
+    def test_argument_mutation_writes_back(self):
+        """Eager mode mutates the caller's tensor in place; replay must
+        copy the computed contents back out."""
+        _setup()
+
+        @pim.compile
+        def touch(a):
+            a[0] = 9.0
+            return a[1]
+
+        p = pim.zeros(8, dtype=pim.float32)
+        q = pim.zeros(8, dtype=pim.float32)
+        touch(p)  # capture
+        assert p.to_numpy()[0] == 9.0
+        touch(q)  # replay with a different tensor
+        assert q.to_numpy()[0] == 9.0
+
+
+class TestCacheEviction:
+    def test_scalar_sweep_does_not_exhaust_memory(self):
+        """Each cached graph reserves device cells; the LRU bound must
+        release them as signatures churn (a scalar sweep would otherwise
+        die with PIMMemoryError)."""
+        _setup()
+
+        @pim.compile(cache_size=4)
+        def shift(a, k):
+            return a + k
+
+        x = pim.zeros(16, dtype=pim.float32)
+        x[0] = 1.0
+        for step in range(40):  # far more signatures than the device holds
+            assert shift(x, float(step)).to_numpy()[0] == 1.0 + step
+        assert shift.cached_graphs == 4
+        assert shift.captures == 40
+
+
+class TestTraceLimitations:
+    def test_view_arguments_rejected(self):
+        _setup()
+        func = pim.compile(fig12)
+        x = pim.zeros(64, dtype=pim.float32)
+        y = pim.zeros(64, dtype=pim.float32)
+        with pytest.raises(pim.TraceError, match="compact"):
+            func(x[::2], y[::2])
+
+    def test_data_dependent_comparison_rejected(self):
+        """Branching on a PIM scalar comparison would bake the wrong branch
+        into the cached program — it must raise, not fall back to identity."""
+        _setup()
+
+        @pim.compile
+        def bad(a):
+            s = a[0]
+            if s == 3.0:
+                return a + 100.0
+            return a + 1.0
+
+        x = pim.zeros(8, dtype=pim.float32)
+        x[0] = 3.0
+        with pytest.raises(pim.TraceError, match="compare"):
+            bad(x)
+
+    def test_data_dependent_scalar_use_rejected(self):
+        _setup()
+
+        @pim.compile
+        def bad(a):
+            total = a.sum()          # ScalarRef during trace
+            return a * total         # ...used to steer computation
+
+        x = pim.ones(16, dtype=pim.float32)
+        with pytest.raises(pim.TraceError, match="trace"):
+            bad(x)
+
+    def test_scalar_usable_after_trace(self):
+        _setup()
+
+        @pim.compile
+        def total(a):
+            return a.sum()
+
+        x = pim.ones(16, dtype=pim.float32)
+        value = total(x)
+        assert float(value) == 16.0
+        assert value == 16.0
+
+    def test_mid_stream_read_of_recycled_cell_rejected(self):
+        """A deferred read whose cell later operations overwrite cannot be
+        re-read after replay — capture must fail loudly, not corrupt."""
+        _setup()
+
+        @pim.compile
+        def bad(a, b):
+            s = (a * b)[0]      # temporary dies; its cell gets recycled
+            t = a + b
+            return s, t[0]
+
+        x = pim.zeros(8, dtype=pim.float32)
+        y = pim.zeros(8, dtype=pim.float32)
+        x[0], y[0] = 4.0, 5.0
+        with pytest.raises(pim.TraceError, match="overwrite"):
+            bad(x, y)
+
+    def test_dma_load_inside_trace_rejected(self):
+        _setup()
+
+        @pim.compile
+        def bad(a):
+            k = pim.from_numpy(np.full(8, 10, dtype=np.int32))
+            return a + k
+
+        x = pim.zeros(8, dtype=pim.int32)
+        with pytest.raises(pim.TraceError, match="DMA"):
+            bad(x)
+
+    def test_dma_readback_inside_trace_rejected(self):
+        _setup()
+
+        @pim.compile
+        def bad(a):
+            return a.to_numpy()
+
+        x = pim.zeros(8, dtype=pim.int32)
+        with pytest.raises(pim.TraceError, match="DMA"):
+            bad(x)
+
+    def test_nested_compiled_function_inlines(self):
+        _setup()
+
+        inner = pim.compile(lambda a: a + 1.0)
+
+        @pim.compile
+        def outer(a):
+            return inner(a) * 2.0
+
+        x = pim.zeros(16, dtype=pim.float32)
+        out = outer(x)
+        assert out.to_numpy()[0] == 2.0
+        assert inner.captures == 0  # inlined into the outer capture
+        assert outer.captures == 1
+        assert outer(x).to_numpy()[0] == 2.0
+
+
+class TestRoutinesUnderCapture:
+    def test_where_and_comparisons(self):
+        _setup()
+
+        @pim.compile
+        def clamp(a):
+            return pim.where(a > 1.0, 1.0, a)
+
+        x = pim.zeros(32, dtype=pim.float32)
+        x[1], x[2] = 0.5, 3.0
+        out = clamp(x)
+        assert out.to_numpy()[1] == 0.5
+        assert out.to_numpy()[2] == 1.0
+        x[2] = 0.25
+        assert clamp(x).to_numpy()[2] == 0.25
+        assert clamp.captures == 1
+
+    def test_sort_inside_compiled_function(self):
+        _setup()
+
+        @pim.compile
+        def sorted_front(a):
+            return a.sort()
+
+        x = pim.from_numpy(np.array([4, 1, 3, 2], dtype=np.int32))
+        assert sorted_front(x).to_numpy().tolist() == [1, 2, 3, 4]
+        x2 = pim.from_numpy(np.array([9, -1, 5, 0], dtype=np.int32))
+        assert sorted_front(x2).to_numpy().tolist() == [-1, 0, 5, 9]
+        assert sorted_front.captures == 1
+
+
+class TestTraceSession:
+    def test_trace_records_graph_nodes(self):
+        device, x, y = _setup()
+        with pim.trace() as session:
+            fig12(x, y)
+        kinds = {node.kind for node in session.graph.nodes}
+        assert {"mul", "add", "view", "reduce", "read"} <= kinds
+        assert len(session.graph.instructions) > 0
+        assert "graph" in session.graph.summary()
+
+    def test_lowered_program_replays_on_device(self):
+        device, x, y = _setup()
+        with pim.trace() as session:
+            z = x * y + x
+        program = session.lower()
+        assert isinstance(program, MicroProgram)
+        before = device.backend.words.copy()
+        device.run_program(program)  # recompute: idempotent stream
+        assert np.array_equal(device.backend.words, before)
+
+    def test_optimized_lowering_saves_cycles(self):
+        device, x, y = _setup()
+        with pim.trace() as session:
+            _ = x * y + x
+        raw = session.lower(optimize=False)
+        tight = session.lower(optimize=True)
+        assert len(tight) < len(raw)
+
+    def test_nested_trace_rejected(self):
+        device, x, y = _setup()
+        with pim.trace():
+            with pytest.raises(pim.TraceError, match="already active"):
+                device.begin_trace()

@@ -1,0 +1,108 @@
+"""Regression tests: device teardown, ``pim.reset()`` invalidation, and
+allocator-free idempotence (the Tensor lifetime fragility fixes)."""
+
+import gc
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+
+
+@pytest.fixture(autouse=True)
+def _cleanup():
+    yield
+    pim.reset()
+
+
+class TestResetInvalidation:
+    def test_use_after_reset_raises_clearly(self):
+        pim.init(crossbars=4, rows=16)
+        x = pim.zeros(16, dtype=pim.float32)
+        pim.reset()
+        with pytest.raises(RuntimeError, match="reset"):
+            x.to_numpy()
+        with pytest.raises(RuntimeError, match="reset"):
+            _ = x + 1.0
+        with pytest.raises(RuntimeError, match="reset"):
+            x[0] = 1.0
+        with pytest.raises(RuntimeError, match="reset"):
+            _ = x[0]
+
+    def test_view_use_after_reset_raises(self):
+        pim.init(crossbars=4, rows=16)
+        view = pim.zeros(16, dtype=pim.float32)[::2]
+        pim.reset()
+        with pytest.raises(RuntimeError, match="reset"):
+            view.to_numpy()
+
+    def test_device_handle_rejects_use_after_reset(self):
+        device = pim.init(crossbars=4, rows=16)
+        pim.reset()
+        from repro.isa.instructions import ReadInstr
+
+        with pytest.raises(RuntimeError, match="reset"):
+            device.execute(ReadInstr(0, 0, 0))
+
+    def test_destructor_after_reset_is_harmless(self):
+        """A tensor outliving pim.reset() must not free into the stale
+        allocator (or blow up in __del__)."""
+        pim.init(crossbars=4, rows=16)
+        x = pim.zeros(16, dtype=pim.float32)
+        old_allocator = pim.default_device().allocator
+        live_before = old_allocator.live_slots
+        pim.reset()
+        new_device = pim.init(crossbars=4, rows=16)
+        del x
+        gc.collect()
+        # The stale allocator saw no free after the reset...
+        assert old_allocator.live_slots == live_before
+        # ...and the fresh device is untouched.
+        assert new_device.allocator.live_slots == 0
+
+    def test_new_tensors_work_after_reset(self):
+        pim.init(crossbars=4, rows=16)
+        _ = pim.zeros(16, dtype=pim.float32)
+        pim.reset()
+        pim.init(crossbars=4, rows=16)
+        y = pim.ones(16, dtype=pim.float32)
+        assert y.to_numpy().sum() == 16.0
+
+    def test_reinit_closes_previous_default(self):
+        pim.init(crossbars=4, rows=16)
+        x = pim.zeros(16, dtype=pim.float32)
+        pim.init(crossbars=4, rows=16)  # replaces (and closes) the default
+        with pytest.raises(RuntimeError, match="reset"):
+            x.to_numpy()
+
+
+class TestFreeIdempotence:
+    def test_release_then_destructor(self):
+        device = pim.init(crossbars=4, rows=16)
+        x = pim.zeros(16, dtype=pim.float32)
+        x._release()
+        assert x.slot is None
+        x._release()  # second release is a no-op
+        del x
+        gc.collect()
+        assert device.allocator.live_slots == 0
+
+    def test_allocator_double_free_is_noop(self):
+        device = pim.init(crossbars=4, rows=16)
+        slot = device.allocator.allocate(16)
+        device.allocator.free(slot)
+        device.allocator.free(slot)
+        assert device.allocator.live_slots == 0
+        assert device.allocator.occupancy() == 0.0
+
+    def test_reserve_and_release_cells(self):
+        device = pim.init(crossbars=4, rows=16)
+        allocator = device.allocator
+        slot = allocator.allocate(16)
+        cells = [(slot.reg, slot.warp_start), (slot.reg + 1, 0)]
+        claimed = allocator.reserve_cells(cells)
+        # The live slot's cell is skipped; the free one is claimed.
+        assert claimed == [(slot.reg + 1, 0)]
+        allocator.release_cells(claimed)
+        allocator.free(slot)
+        assert allocator.occupancy() == 0.0

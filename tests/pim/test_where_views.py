@@ -1,0 +1,146 @@
+"""Coverage for ``pim.where`` and arithmetic on ``TensorView`` operands
+with mixed scalar / int32 / float32 arguments, including views as the
+condition (the Section V-A mixed-operand matrix)."""
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+
+
+@pytest.fixture(autouse=True)
+def _device():
+    pim.init(crossbars=4, rows=16)
+    yield
+    pim.reset()
+
+
+def _pair(dtype):
+    if dtype is pim.int32:
+        a = np.arange(-16, 16, dtype=np.int32)
+        b = np.arange(32, 0, -1, dtype=np.int32)
+    else:
+        a = (np.arange(-16, 16) * 0.5).astype(np.float32)
+        b = (np.arange(32, 0, -1) * 0.25).astype(np.float32)
+    return a, b
+
+
+class TestWhereWithViews:
+    @pytest.mark.parametrize("dtype", [pim.int32, pim.float32], ids=["i32", "f32"])
+    def test_view_condition_selects_tensor_values(self, dtype):
+        a_host, b_host = _pair(dtype)
+        a = pim.from_numpy(a_host)
+        b = pim.from_numpy(b_host)
+        # The condition is itself computed on views (strided operands).
+        cond = a[::2] < b[::2]
+        out = pim.where(cond, a[::2], b[::2])
+        expected = np.where(a_host[::2] < b_host[::2], a_host[::2], b_host[::2])
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    def test_view_condition_on_offset_slice(self):
+        a_host, b_host = _pair(pim.float32)
+        a = pim.from_numpy(a_host)
+        b = pim.from_numpy(b_host)
+        cond_full = a < b                       # full-length int32 tensor
+        out = pim.where(cond_full[1::3], a[1::3], b[1::3])
+        expected = np.where(
+            (a_host < b_host)[1::3], a_host[1::3], b_host[1::3]
+        )
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    @pytest.mark.parametrize("dtype", [pim.int32, pim.float32], ids=["i32", "f32"])
+    def test_scalar_branches(self, dtype):
+        a_host, b_host = _pair(dtype)
+        a = pim.from_numpy(a_host)
+        b = pim.from_numpy(b_host)
+        one = 1 if dtype is pim.int32 else 1.0
+        zero = 0 if dtype is pim.int32 else 0.0
+        out = pim.where(a[::2] < b[::2], one, zero)
+        expected = np.where(
+            a_host[::2] < b_host[::2],
+            np.asarray(one, dtype=dtype.np_dtype),
+            np.asarray(zero, dtype=dtype.np_dtype),
+        )
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    def test_mixed_scalar_and_view_branch(self):
+        a_host, b_host = _pair(pim.float32)
+        a = pim.from_numpy(a_host)
+        b = pim.from_numpy(b_host)
+        out = pim.where(a[::4] >= 0.0, b[::4], -1.5)
+        expected = np.where(a_host[::4] >= 0.0, b_host[::4], np.float32(-1.5))
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    def test_mismatched_branch_dtypes_rejected(self):
+        a = pim.from_numpy(np.arange(8, dtype=np.int32))
+        f = pim.from_numpy(np.arange(8, dtype=np.float32))
+        with pytest.raises(TypeError, match="dtype"):
+            pim.where(a > 3, a, f)
+
+    def test_scalar_condition_rejected(self):
+        a = pim.from_numpy(np.arange(8, dtype=np.int32))
+        with pytest.raises(TypeError, match="condition"):
+            pim.where(1, a, a)
+
+
+class TestViewArithmeticMixedOperands:
+    @pytest.mark.parametrize("dtype", [pim.int32, pim.float32], ids=["i32", "f32"])
+    def test_view_with_scalar_both_sides(self, dtype):
+        a_host, _ = _pair(dtype)
+        a = pim.from_numpy(a_host)
+        three = 3 if dtype is pim.int32 else 3.0
+        np.testing.assert_array_equal(
+            (a[::2] + three).to_numpy(), a_host[::2] + three
+        )
+        np.testing.assert_array_equal(
+            (three * a[1::2]).to_numpy(), three * a_host[1::2]
+        )
+        np.testing.assert_array_equal(
+            (three - a[::4]).to_numpy(), three - a_host[::4]
+        )
+
+    @pytest.mark.parametrize("dtype", [pim.int32, pim.float32], ids=["i32", "f32"])
+    def test_view_with_view_same_base(self, dtype):
+        a_host, _ = _pair(dtype)
+        a = pim.from_numpy(a_host)
+        out = a[::2] + a[1::2]
+        np.testing.assert_array_equal(
+            out.to_numpy(), a_host[::2] + a_host[1::2]
+        )
+
+    @pytest.mark.parametrize("dtype", [pim.int32, pim.float32], ids=["i32", "f32"])
+    def test_view_with_compact_tensor(self, dtype):
+        a_host, b_host = _pair(dtype)
+        a = pim.from_numpy(a_host)
+        short = pim.from_numpy(b_host[:16])
+        out = a[::2] * short
+        np.testing.assert_array_equal(
+            out.to_numpy(), a_host[::2] * b_host[:16]
+        )
+
+    def test_view_comparison_yields_int32(self):
+        a_host, b_host = _pair(pim.float32)
+        a = pim.from_numpy(a_host)
+        b = pim.from_numpy(b_host)
+        cond = a[::2] > b[::2]
+        assert cond.dtype is pim.int32
+        np.testing.assert_array_equal(
+            cond.to_numpy(), (a_host[::2] > b_host[::2]).astype(np.int32)
+        )
+
+    def test_int_view_scalar_comparison(self):
+        a_host, _ = _pair(pim.int32)
+        a = pim.from_numpy(a_host)
+        np.testing.assert_array_equal(
+            (a[::3] <= 0).to_numpy(), (a_host[::3] <= 0).astype(np.int32)
+        )
+
+    def test_compound_view_expression(self):
+        """The Figure-12 shape on strided views end-to-end."""
+        a_host, b_host = _pair(pim.float32)
+        a = pim.from_numpy(a_host)
+        b = pim.from_numpy(b_host)
+        out = a[::2] * b[::2] + a[::2]
+        np.testing.assert_array_equal(
+            out.to_numpy(), a_host[::2] * b_host[::2] + a_host[::2]
+        )

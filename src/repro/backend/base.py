@@ -68,6 +68,28 @@ class Backend(abc.ABC):
     def run_program(self, program) -> Optional[int]:
         """Replay a program from :meth:`compile`; returns the last read."""
 
+    def program_stats(self, program) -> SimStats:
+        """The per-replay cycle bill of a compiled program.
+
+        Computed statically (no execution, no counter side effects) with
+        the same accounting rules replay charges, so callers can report
+        pre- vs post-optimization cycle counts without running anything.
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} backend does not implement program_stats"
+        )
+
+    def stream_stats(self, instructions: Sequence[Instruction]) -> SimStats:
+        """The cycle bill of a macro stream lowered verbatim (no program).
+
+        Like :meth:`program_stats` for the unoptimized lowering of
+        ``instructions``, but without building (or caching) a compiled
+        program — the optimizer uses it to price its baseline.
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} backend does not implement stream_stats"
+        )
+
     # ------------------------------------------------------------------
     # State and accounting
     # ------------------------------------------------------------------

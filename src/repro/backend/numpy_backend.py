@@ -71,6 +71,10 @@ class FunctionalProgram:
     config_fingerprint: Tuple[int, int, int, int, int]
     stats_delta: SimStats
     macros: int
+    #: Micro-ops of the lowered stream before the peephole passes ran —
+    #: the pre- vs post-optimization instruction count this backend
+    #: reports (same name and meaning as ``MicroProgram.source_ops``).
+    source_ops: int = 0
 
     def __len__(self) -> int:
         return self.stats_delta.micro_ops
@@ -181,8 +185,20 @@ class NumpyBackend(Backend):
         micro = self._driver.compile(list(instrs), name=name, optimize=optimize)
         delta = self._replay_stats(micro.ops)
         return FunctionalProgram(
-            instrs, name, config_fingerprint(self.config), delta, len(instrs)
+            instrs, name, config_fingerprint(self.config), delta, len(instrs),
+            source_ops=micro.source_ops,
         )
+
+    def program_stats(self, program: FunctionalProgram) -> SimStats:
+        """The precomputed per-replay cycle bill (one copy, no execution)."""
+        return program.stats_delta.copy()
+
+    def stream_stats(self, instructions: Sequence[Instruction]) -> SimStats:
+        """Accounting of a verbatim lowering, without building a program."""
+        ops = []
+        for instr in instructions:
+            ops.extend(self._driver._lower_ops(instr))
+        return self._replay_stats(ops)
 
     def run_program(self, program: FunctionalProgram) -> Optional[int]:
         """Replay a compiled stream from its pre-resolved plan.

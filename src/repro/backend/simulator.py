@@ -53,6 +53,40 @@ class SimulatorBackend(Backend):
     def run_program(self, program) -> Optional[int]:
         return self.driver.run_program(program)
 
+    def program_stats(self, program) -> SimStats:
+        """Static per-replay accounting of a fused ``MicroProgram``.
+
+        Uses :func:`~repro.sim.simulator.accounting_walk` with the masks
+        a fresh chip starts from — exactly what ``execute_program``
+        charges for self-masked fused streams.
+        """
+        return self._walk_ops(program.ops)
+
+    def stream_stats(self, instructions: Sequence[Instruction]) -> SimStats:
+        """Accounting of a verbatim lowering, without building a program.
+
+        The per-instruction body cache makes re-lowering cheap (the
+        capture already compiled every distinct instruction), and no
+        ``MicroProgram`` is constructed or inserted into the cache.
+        """
+        ops = []
+        for instr in instructions:
+            ops.extend(self.driver._lower_ops(instr))
+        return self._walk_ops(ops)
+
+    def _walk_ops(self, ops) -> SimStats:
+        from repro.arch.masks import RangeMask
+        from repro.sim.simulator import accounting_walk
+
+        return accounting_walk(
+            ops,
+            self.config,
+            self.simulator.move_cost,
+            xb=RangeMask.all(self.config.crossbars),
+            row=RangeMask.all(self.config.rows),
+            strict=True,
+        )
+
     # ------------------------------------------------------------------
     @property
     def words(self) -> np.ndarray:

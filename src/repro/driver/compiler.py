@@ -237,10 +237,14 @@ def compile_ops(
     externally recorded streams should keep the default.
     """
     ops = list(ops)
+    source_ops = len(ops)
     if optimize:
         ops = coalesce_masks(ops)
         ops = eliminate_redundant_init1(ops)
     if validate:
         reads = validate_ops(ops, config)
-        return MicroProgram(tuple(ops), name, config_fingerprint(config), reads)
-    return MicroProgram.from_ops(ops, name, config)
+        return MicroProgram(
+            tuple(ops), name, config_fingerprint(config), reads,
+            source_ops=source_ops,
+        )
+    return MicroProgram.from_ops(ops, name, config, source_ops=source_ops)

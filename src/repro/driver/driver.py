@@ -280,13 +280,31 @@ class Driver:
         ``INIT1`` cycles are eliminated (see :mod:`repro.driver.compiler`).
         The optimized program produces a bit-identical memory state in
         fewer cycles; replay it with :meth:`run_program`.
+
+        Compiled streams are cached in :attr:`programs`, keyed on the
+        exact instruction sequence, the profiling ``name``, *and the
+        optimizer configuration* (the ``optimize`` flag, the parallelism
+        mode, and the config fingerprint): recompiling the same stream
+        is a cache hit, and switching the optimization level mid-session
+        can never replay a stale program compiled under different flags.
         """
+        instrs = tuple(instructions)
+        key = None
+        if self.cache_enabled:
+            key = ("stream", instrs, name, bool(optimize), self.parallelism,
+                   self._fingerprint)
+            cached = self.programs.get(key)
+            if cached is not None:
+                return cached
         ops: List[MicroOp] = []
-        for instr in instructions:
+        for instr in instrs:
             validate(instr, self.config.registers)
             ops.extend(self._lower_ops(instr))
         program = compile_ops(ops, self.config, name=name, optimize=optimize)
-        return replace(program, macros=len(instructions))
+        program = replace(program, macros=len(instrs))
+        if key is not None:
+            self.programs.put(key, program)
+        return program
 
     def run_program(self, program: MicroProgram) -> Optional[int]:
         """Replay a compiled program on the chip.

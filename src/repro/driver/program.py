@@ -79,6 +79,10 @@ class MicroProgram:
         macros: number of macro-instructions the stream was recorded
             from (0 when built from raw ops); lets the driver keep its
             macro/micro counters consistent across fused replays.
+        source_ops: number of micro-operations the stream held *before*
+            the compiler's peephole passes ran (equals ``len(ops)`` for
+            unoptimized programs) — the pre- vs post-optimization
+            instruction count backends report.
     """
 
     ops: Tuple[MicroOp, ...]
@@ -86,6 +90,7 @@ class MicroProgram:
     config_fingerprint: Tuple[int, int, int, int, int]
     reads: int = field(default=0)
     macros: int = field(default=0)
+    source_ops: int = field(default=0)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -111,13 +116,16 @@ class MicroProgram:
 
     @classmethod
     def from_ops(
-        cls, ops, name: str, config: PIMConfig
+        cls, ops, name: str, config: PIMConfig, source_ops: Optional[int] = None
     ) -> "MicroProgram":
         """Wrap an op sequence without optimization (validation is the
         compiler's job; prefer :func:`repro.driver.compiler.compile_ops`)."""
         ops = tuple(ops)
         reads = sum(1 for op in ops if isinstance(op, ReadOp))
-        return cls(ops, name, config_fingerprint(config), reads)
+        return cls(
+            ops, name, config_fingerprint(config), reads,
+            source_ops=len(ops) if source_ops is None else source_ops,
+        )
 
 
 class ProgramCache:
@@ -125,7 +133,11 @@ class ProgramCache:
 
     The driver keys entries on ``(instruction kind, dtype, operand
     layout, parallelism, config fingerprint)`` — everything lowering
-    depends on — so a hit is always safe to replay verbatim.
+    depends on — so a hit is always safe to replay verbatim. Fused
+    streams (:meth:`repro.driver.driver.Driver.compile`) additionally
+    key on the optimizer configuration (the peephole ``optimize`` flag),
+    so changing the optimization level mid-session can never replay a
+    program compiled under different flags.
     """
 
     def __init__(self, maxsize: int = 4096):

@@ -43,6 +43,7 @@ from repro.pim.functional import (
 )
 from repro.pim.linalg import Matrix, dot, matmul, matvec
 from repro.pim.malloc import PIMMemoryError
+from repro.pim.optimizer import OPT_LEVEL_MAX, OPT_LEVELS, OptReport
 from repro.pim.profiler import Profiler
 from repro.pim.routines import cordic_cos, cordic_sin, reduce, sort
 from repro.pim.tensor import Tensor, TensorView
@@ -72,6 +73,9 @@ __all__ = [
     "to_numpy",
     "where",
     "PIMMemoryError",
+    "OPT_LEVELS",
+    "OPT_LEVEL_MAX",
+    "OptReport",
     "Profiler",
     "Tensor",
     "TensorView",

@@ -20,10 +20,17 @@ layer and driver: new argument data is DMA-copied into the captured
 input registers, the program replays, and deferred scalar reads are
 re-issued.
 
-Replay is **cycle-exact** with eager mode by default (``optimize=False``):
+Replay is **cycle-exact** with eager mode by default (``opt_level=0``):
 the replayed stream is the eager stream, so memory contents and PIM
-cycle counters match bit-for-bit. ``optimize=True`` additionally runs
-the peephole passes (same memory, fewer mask cycles).
+cycle counters match bit-for-bit. Higher optimization levels trade that
+full-memory identity for speed while keeping every *observable* value
+bit-identical (outputs, arguments, deferred scalar reads): level 1
+(the legacy ``optimize=True``) runs the driver's peephole passes, level
+2 adds graph-level constant folding, common-subexpression elimination
+and dead-temporary elimination, and level 3 adds register reuse so the
+compiled graph reserves fewer crossbar cells (see
+:mod:`repro.pim.optimizer`). ``CompiledFunction.opt_report()`` exposes
+the pre- vs post-optimization instruction and cycle counts.
 
 Limitations (enforced with :class:`~repro.pim.graph.TraceError` where
 detectable): Python-level control flow is baked in at capture time, PIM
@@ -165,11 +172,12 @@ class CompiledGraph:
     """One captured-and-lowered graph: the unit the signature cache holds.
 
     Holds the capture-time argument and output tensors, and *reserves*
-    every allocator cell the trace touched (including cells whose
-    intermediate tensors were freed during capture, exactly as eager
-    execution frees them) — replaying the fused stream writes into those
-    cells, so nothing else may be allocated there. Dropping the compiled
-    graph releases the reservation.
+    the allocator cells the replayed stream writes (at ``opt_level=0``
+    that is every cell the trace touched, including cells whose
+    intermediate tensors were freed during capture; the optimizer
+    shrinks the set when it eliminates whole temporaries) — nothing else
+    may be allocated there. Dropping the compiled graph releases the
+    reservation.
     """
 
     def __init__(
@@ -186,7 +194,12 @@ class CompiledGraph:
         self.reads = session.reads
         self.bound_args = bound_args
         self.outputs = outputs
-        self.reserved = device.allocator.reserve_cells(session.cells)
+        #: The optimizer's pre/post accounting (None for level-0 graphs).
+        self.report = session.last_report
+        cells = session.replay_cells
+        if cells is None:
+            cells = session.cells
+        self.reserved = device.allocator.reserve_cells(cells)
         self.replays = 0
         # Base tensors the outputs alias: replay must leave the marshalled
         # data in these (the output *is* the argument buffer); every other
@@ -276,12 +289,16 @@ class CompiledFunction:
         fn: Callable,
         device=None,
         optimize: bool = False,
+        opt_level: Optional[int] = None,
         name: Optional[str] = None,
         cache_size: int = 32,
     ):
+        from repro.pim.optimizer import resolve_opt_level
+
         functools.update_wrapper(self, fn)
         self.fn = fn
-        self.optimize = optimize
+        self.opt_level = resolve_opt_level(optimize, opt_level)
+        self.optimize = self.opt_level >= 1
         self.name = name or getattr(fn, "__name__", "graph")
         self.cache_size = max(int(cache_size), 1)
         self._device = device
@@ -331,7 +348,7 @@ class CompiledFunction:
         finally:
             device.end_trace()
         _check_deferred_reads(session.graph.instructions, device.config)
-        program = session.lower(optimize=self.optimize, keep_reads=False)
+        program = session.lower(opt_level=self.opt_level, keep_reads=False)
         entry = CompiledGraph(device, session, program, tuple(args), out)
         return entry, _resolve(out)
 
@@ -373,8 +390,8 @@ class CompiledFunction:
         """Number of captured (graph, signature) entries currently held."""
         return len(self._cache)
 
-    def graph_for(self, *args) -> Graph:
-        """The captured tensor-level IR for a signature (capturing if new)."""
+    def _entry_for(self, args) -> CompiledGraph:
+        """The cached compiled graph for a signature (capturing if new)."""
         from repro.pim.device import default_device
 
         device = self._device or default_device()
@@ -385,7 +402,20 @@ class CompiledFunction:
                 entry.release()
             entry, _ = self._capture(device, args)
             self._store(key, entry)
-        return entry.graph
+        return entry
+
+    def graph_for(self, *args) -> Graph:
+        """The captured tensor-level IR for a signature (capturing if new)."""
+        return self._entry_for(args).graph
+
+    def opt_report(self, *args):
+        """The optimizer's pre/post accounting for a signature.
+
+        Returns the :class:`~repro.pim.optimizer.OptReport` recorded when
+        the signature's graph was lowered (capturing if new), or ``None``
+        at ``opt_level=0`` where the stream replays verbatim.
+        """
+        return self._entry_for(args).report
 
     def clear(self) -> None:
         """Drop every cached graph (releases the reserved cells)."""
@@ -399,18 +429,34 @@ def compile(
     *,
     device=None,
     optimize: bool = False,
+    opt_level: Optional[int] = None,
     cache_size: int = 32,
 ):
     """Decorate a tensor function for capture-once / replay-many execution.
 
     Usable bare (``@pim.compile``) or parameterized
-    (``@pim.compile(optimize=True)``). ``cache_size`` bounds the
-    per-function signature cache (LRU; evicted graphs release their
-    reserved device cells). See the module docstring for the capture
-    protocol, the cache key, and tracing limitations.
+    (``@pim.compile(opt_level=2)``). ``opt_level`` selects the optimizer
+    pipeline (0 = cycle-exact verbatim replay, the default; 1 = driver
+    peephole passes, the legacy ``optimize=True``; 2 = graph-level
+    constant folding + CSE + dead-temporary elimination; 3 = level 2
+    plus register reuse — see :mod:`repro.pim.optimizer`). Optimized
+    replays stay bit-identical on every observable value. ``cache_size``
+    bounds the per-function signature cache (LRU; evicted graphs release
+    their reserved device cells). See the module docstring for the
+    capture protocol, the cache key, and tracing limitations.
     """
     if fn is None:
         return functools.partial(
-            compile, device=device, optimize=optimize, cache_size=cache_size
+            compile,
+            device=device,
+            optimize=optimize,
+            opt_level=opt_level,
+            cache_size=cache_size,
         )
-    return CompiledFunction(fn, device=device, optimize=optimize, cache_size=cache_size)
+    return CompiledFunction(
+        fn,
+        device=device,
+        optimize=optimize,
+        opt_level=opt_level,
+        cache_size=cache_size,
+    )

@@ -44,6 +44,12 @@ class PIMDevice:
         self.allocator = Allocator(self.config)
         self.closed = False
         self._trace = None
+        #: Optimizer reports of recent graph lowerings on this device
+        #: (``opt_level >= 1``), newest last, bounded to the last 32.
+        #: ``pim.Profiler`` snapshots this to report the pre- vs
+        #: post-optimization instruction and cycle counts of programs
+        #: compiled inside a profiled block.
+        self.opt_reports: List = []
 
     # ------------------------------------------------------------------
     # Backward-compatible access to the default backend's internals
@@ -139,12 +145,16 @@ class PIMDevice:
         if self._trace is not None:
             raise TraceError("a trace is already active on this device")
         self._trace = TraceSession(self, name)
+        # Observe allocator frees: the optimizer's dead-temporary
+        # analysis needs to know which traced cells outlive the capture.
+        self.allocator.observer = self._trace
         return self._trace
 
     def end_trace(self):
         """Detach and freeze the active trace session."""
         session = self._trace
         self._trace = None
+        self.allocator.observer = None
         if session is not None:
             session.close()
         return session

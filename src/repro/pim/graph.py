@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.isa.dtypes import DType
 from repro.isa.instructions import Instruction, ReadInstr
@@ -181,7 +181,21 @@ class TraceSession:
         #: instruction stream — and the memory image — identical to eager
         #: execution).
         self.cells: set = set()
+        #: The subset of :attr:`cells` still allocated right now — cells
+        #: leave on :meth:`untrack_slot` (the allocator notifies frees
+        #: while this session observes it) and re-enter when a later
+        #: allocation reuses them. After :meth:`close`, this is exactly
+        #: the cells of tensors that outlived the capture; the optimizer
+        #: treats everything else as dead temporaries.
+        self.live_cells: set = set()
         self.reads: List[ReadInstr] = []
+        #: Cells the compiled graph must reserve for replays. Defaults to
+        #: every traced cell; :meth:`lower` shrinks it when the optimizer
+        #: eliminates whole temporaries (``opt_level >= 2``).
+        self.replay_cells: Optional[set] = None
+        #: The :class:`~repro.pim.optimizer.OptReport` of the most recent
+        #: :meth:`lower` call (``None`` for verbatim level-0 lowerings).
+        self.last_report = None
         self.active = True
         self._depth = 0
 
@@ -194,9 +208,38 @@ class TraceSession:
     def track(self, tensor) -> None:
         """Register a tensor allocated during the trace (records its cells)."""
         slot = tensor.slot
-        self.cells.update(
+        cells = [
+            (slot.reg, warp) for warp in range(slot.warp_start, slot.warp_stop)
+        ]
+        self.cells.update(cells)
+        self.live_cells.update(cells)
+
+    def untrack_slot(self, slot) -> None:
+        """Record a slot freed mid-trace (its cells become dead candidates).
+
+        Called by the allocator's free-observer hook. Cells of tensors
+        allocated *before* the trace are not tracked, so freeing them
+        here is a no-op; cells reallocated later re-enter via
+        :meth:`track`.
+        """
+        if not self.active:
+            return
+        self.live_cells.difference_update(
             (slot.reg, warp) for warp in range(slot.warp_start, slot.warp_stop)
         )
+
+    def read_cells(self) -> set:
+        """The (register, warp) cells deferred scalar reads re-visit."""
+        return {(read.reg, read.warp) for read in self.reads}
+
+    def dead_cells(self) -> set:
+        """Trace cells unobservable after the program ends.
+
+        Allocated during the trace, freed before it finished, and not
+        re-visited by a deferred scalar read — the only cells the
+        optimizer may leave with different contents than eager mode.
+        """
+        return self.cells - self.live_cells - self.read_cells()
 
     @contextmanager
     def node(self, kind: str, **meta):
@@ -240,24 +283,94 @@ class TraceSession:
     def close(self) -> None:
         self.active = False
 
-    def lower(self, optimize: bool = False, keep_reads: bool = True):
+    def lower(
+        self,
+        optimize: bool = False,
+        keep_reads: bool = True,
+        opt_level: Optional[int] = None,
+    ):
         """Compile the captured instruction stream through the backend.
 
         Returns the backend's program handle (a ``MicroProgram`` on the
         simulator backend). With ``keep_reads=False`` the scalar reads
         are left out — the protocol ``pim.compile`` uses, re-issuing them
         after each replay so every deferred scalar stays retrievable.
+
+        ``opt_level`` selects the optimizer pipeline (see
+        :mod:`repro.pim.optimizer`): 0 replays the eager stream verbatim
+        (cycle-exact), 1 runs the driver's peephole passes (the legacy
+        ``optimize=True``), 2 adds constant folding, CSE and
+        dead-temporary elimination on the graph IR, 3 adds register
+        reuse. Levels >= 1 leave an :class:`~repro.pim.optimizer.OptReport`
+        in :attr:`last_report` (and on ``device.opt_reports`` for the
+        Profiler); levels >= 2 shrink :attr:`replay_cells`, the cell
+        reservation compiled graphs hold.
         """
-        instructions = self.graph.instructions
-        if not keep_reads:
-            instructions = [
-                instr
-                for instr in instructions
-                if not isinstance(instr, ReadInstr)
-            ]
-        return self.device.backend.compile(
-            instructions, name=self.graph.name, optimize=optimize
+        from repro.pim.optimizer import (
+            OptReport,
+            optimize_instructions,
+            plan_reservation,
+            resolve_opt_level,
         )
+
+        level = resolve_opt_level(optimize, opt_level)
+        raw = self.graph.instructions
+        if not keep_reads:
+            raw = [
+                instr for instr in raw if not isinstance(instr, ReadInstr)
+            ]
+        instructions = raw
+        passes: dict = {}
+        config = self.device.config
+        self.replay_cells = set(self.cells)
+        if level >= 2:
+            instructions, passes = optimize_instructions(
+                raw, config, level, self.dead_cells()
+            )
+            self.replay_cells = plan_reservation(
+                instructions, config, self.cells, self.live_cells,
+                self.read_cells(),
+            )
+        backend = self.device.backend
+        program = backend.compile(
+            instructions, name=self.graph.name, optimize=level >= 1
+        )
+        self.last_report = None
+        if level >= 1:
+            after = backend.program_stats(program)
+            if level >= 2:
+                # The graph passes rewrote the stream itself; price the
+                # verbatim baseline without building (or caching) a
+                # second program — the per-instruction body cache makes
+                # this a cheap re-walk.
+                before = backend.stream_stats(raw)
+                micro_before, cycles_before = before.micro_ops, before.cycles
+            else:
+                # Level 1 differs only by the peephole passes, which drop
+                # 1-cycle mask/INIT1 ops without changing the mask state
+                # any surviving op executes under — the raw bill is the
+                # optimized bill plus one cycle per dropped op, so no
+                # second lowering is needed.
+                micro_before = program.source_ops
+                cycles_before = after.cycles + (micro_before - after.micro_ops)
+            self.last_report = OptReport(
+                name=self.graph.name,
+                opt_level=level,
+                macros_before=len(raw),
+                macros_after=len(instructions),
+                micro_ops_before=micro_before,
+                micro_ops_after=after.micro_ops,
+                cycles_before=cycles_before,
+                cycles_after=after.cycles,
+                cells_before=len(self.cells),
+                cells_after=len(self.replay_cells),
+                passes=passes,
+            )
+            reports = getattr(self.device, "opt_reports", None)
+            if reports is not None:
+                reports.append(self.last_report)
+                del reports[:-32]
+        return program
 
 
 @contextmanager

@@ -52,6 +52,12 @@ class Allocator:
             reg: set() for reg in range(config.user_registers)
         }
         self._live: Set[Slot] = set()
+        #: Optional free-observer with an ``untrack_slot(slot)`` method.
+        #: A live :class:`~repro.pim.graph.TraceSession` installs itself
+        #: here so mid-trace frees are visible to the graph optimizer
+        #: (dead-temporary analysis needs to know which cells no live
+        #: tensor owns when the capture ends).
+        self.observer = None
 
     # ------------------------------------------------------------------
     def warps_needed(self, length: int) -> int:
@@ -123,6 +129,8 @@ class Allocator:
         self._live.discard(slot)
         for warp in range(slot.warp_start, slot.warp_stop):
             self._occupied[slot.reg].discard(warp)
+        if self.observer is not None:
+            self.observer.untrack_slot(slot)
 
     # ------------------------------------------------------------------
     # Cell-level reservation (the compiled-graph working set)

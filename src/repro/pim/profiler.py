@@ -29,12 +29,17 @@ class Profiler:
         self.stats: Optional[SimStats] = None
         self._before: Optional[SimStats] = None
         self._cache_before: Optional[tuple] = None
+        self._reports_before: tuple = ()
         #: Compiled-stream cache hits/misses of the backend inside the
         #: block (how often macro-instructions replayed a compiled stream
         #: versus paying full lowering; see ``repro.driver.program`` and
         #: ``repro.backend``).
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        #: :class:`~repro.pim.optimizer.OptReport`\ s of graphs lowered
+        #: inside the block (``opt_level >= 1`` captures): the pre- vs
+        #: post-optimization instruction and cycle counts.
+        self.opt_reports: list = []
 
     @property
     def device(self) -> PIMDevice:
@@ -43,6 +48,10 @@ class Profiler:
     def __enter__(self) -> "Profiler":
         self._before = self.device.stats_snapshot()
         self._cache_before = self.device.backend.cache_counters()
+        # Snapshot by identity, not index: the device bounds its report
+        # list, so entries present at __enter__ may be trimmed away by
+        # in-block lowerings (the held references keep their ids unique).
+        self._reports_before = tuple(self.device.opt_reports)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -50,12 +59,20 @@ class Profiler:
         hits, misses = self.device.backend.cache_counters()
         self.cache_hits = hits - self._cache_before[0]
         self.cache_misses = misses - self._cache_before[1]
+        seen = {id(report) for report in self._reports_before}
+        self.opt_reports = [
+            report
+            for report in self.device.opt_reports
+            if id(report) not in seen
+        ]
         if self.echo and exc_type is None:
             print(self.stats.summary())
             print(
                 f"  program cache  {self.cache_hits} hits / "
                 f"{self.cache_misses} misses"
             )
+            for report in self.opt_reports:
+                print(f"  {report.summary()}")
 
     @property
     def cycles(self) -> int:

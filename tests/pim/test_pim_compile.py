@@ -125,6 +125,252 @@ class TestOptimizedLowering:
         assert np.array_equal(device.backend.words, eager_words)
 
 
+class TestOptimizerLevels:
+    """The graph optimizer (`opt_level >= 2`) on compiled functions.
+
+    Contract: optimized replays keep every observable value bit-identical
+    to eager mode (outputs, arguments, deferred scalar reads) while
+    spending fewer cycles; levels are part of no shared state, so
+    switching levels mid-session never replays a stale program.
+    """
+
+    def test_all_levels_bit_identical_outputs(self):
+        device, x, y = _setup()
+        expected = fig12(x, y)
+        pim.reset()
+        for level in pim.OPT_LEVELS:
+            device, x, y = _setup()
+            func = pim.compile(fig12, opt_level=level)
+            assert func(x, y) == expected  # capture
+            assert func(x, y) == expected  # replay
+            assert func.captures == 1
+            pim.reset()
+
+    def test_cse_saves_cycles_and_matches_eager(self):
+        def recompute(a, b):
+            num = a * b + a
+            den = a * b - a        # a*b recomputed: the CSE victim
+            return num, den.sum()
+
+        device, x, y = _setup()
+        num, total = recompute(x, y)
+        expected = (num.to_numpy().copy(), float(total))
+        pim.reset()
+
+        cycles = {}
+        for level in (0, 2):
+            device, x, y = _setup()
+            func = pim.compile(recompute, opt_level=level)
+            func(x, y)  # capture
+            before = device.stats_snapshot()
+            num, total = func(x, y)
+            cycles[level] = device.backend.stats.diff(before).cycles
+            assert np.array_equal(num.to_numpy(), expected[0])
+            assert float(total) == expected[1]
+            pim.reset()
+        assert cycles[2] < cycles[0]
+
+    def test_dead_temporary_frees_reserved_cells(self):
+        def with_dead(a, b):
+            _ = a - b              # freed mid-trace, never observed
+            return a + b
+
+        reserved = {}
+        for level in (0, 2):
+            device, x, y = _setup()
+            func = pim.compile(with_dead, opt_level=level)
+            out = func(x, y)
+            assert out.to_numpy()[4] == 8.5
+            entry = next(iter(func._cache.values()))
+            reserved[level] = len(entry.reserved)
+            report = func.opt_report(x, y)
+            if level >= 2:
+                assert report.passes.get("dce_dropped", 0) >= 1
+                assert report.cells_after < report.cells_before
+            pim.reset()
+        assert reserved[2] < reserved[0]
+
+    def test_opt_report_counts_pre_vs_post(self):
+        device, x, y = _setup()
+        func = pim.compile(fig12, opt_level=2)
+        func(x, y)
+        report = func.opt_report(x, y)
+        assert report.opt_level == 2
+        assert report.macros_after <= report.macros_before
+        assert report.cycles_after < report.cycles_before
+        assert 0.0 < report.cycle_reduction < 1.0
+        assert "optimizer" in report.summary()
+        # Level 0 replays verbatim: no report.
+        verbatim = pim.compile(fig12, opt_level=0)
+        verbatim(x, y)
+        assert verbatim.opt_report(x, y) is None
+
+    def test_profiler_reports_optimizer_activity(self):
+        device, x, y = _setup()
+        func = pim.compile(fig12, opt_level=2)
+        with pim.Profiler() as prof:
+            func(x, y)
+        assert len(prof.opt_reports) == 1
+        assert prof.opt_reports[0].cycles_after < prof.opt_reports[0].cycles_before
+
+    def test_profiler_reports_survive_device_report_cap(self):
+        """Regression: once the device's bounded report list is full, the
+        trim on each new lowering must not hide in-block reports from
+        the profiler (an index snapshot would see an empty slice)."""
+        device, x, y = _setup()
+        device.opt_reports.extend(
+            pim.OptReport(name=f"old{i}", opt_level=1) for i in range(32)
+        )
+        func = pim.compile(fig12, opt_level=2)
+        with pim.Profiler() as prof:
+            func(x, y)
+        assert len(prof.opt_reports) == 1
+        assert prof.opt_reports[0].name == "fig12"
+
+    def test_level1_report_matches_true_baseline(self):
+        """Level 1's derived pre-peephole bill (no second lowering) must
+        equal what actually compiling the verbatim stream reports."""
+        device, x, y = _setup()
+        with pim.trace() as session:
+            _ = x * y + x
+        verbatim = session.lower(opt_level=0)
+        baseline = device.backend.program_stats(verbatim)
+        session.lower(opt_level=1)
+        report = session.last_report
+        assert report.cycles_before == baseline.cycles
+        assert report.micro_ops_before == baseline.micro_ops
+        assert report.cycles_after < report.cycles_before
+
+    def test_switching_levels_mid_session_not_stale(self):
+        """Two compiled variants of one function on one device: each must
+        replay its own program (the regression the ProgramCache
+        optimizer-configuration key closes)."""
+        device, x, y = _setup()
+        expected = fig12(x, y)
+        verbatim = pim.compile(fig12, opt_level=0)
+        tuned = pim.compile(fig12, opt_level=2)
+        assert verbatim(x, y) == expected
+        assert tuned(x, y) == expected
+        cycles = {}
+        for name, func in (("verbatim", verbatim), ("tuned", tuned)):
+            before = device.stats_snapshot()
+            assert func(x, y) == expected
+            cycles[name] = device.backend.stats.diff(before).cycles
+        assert cycles["tuned"] < cycles["verbatim"]
+
+    def test_levels_on_numpy_backend_match_simulator_cycles(self):
+        totals = {}
+        for backend in ("simulator", "numpy"):
+            device, x, y = _setup(backend)
+            func = pim.compile(fig12, opt_level=3)
+            func(x, y)
+            before = device.stats_snapshot()
+            func(x, y)
+            totals[backend] = device.backend.stats.diff(before).cycles
+            pim.reset()
+        assert totals["simulator"] == totals["numpy"]
+
+
+class TestOptimizerEdgeCases:
+    """Aliased/permuted arguments, deferred reads, mid-trace frees."""
+
+    def test_aliased_arguments_optimize_correctly(self):
+        _setup()
+
+        @pim.compile(opt_level=3)
+        def square_sum(a, b):
+            return a * b + a
+
+        x = pim.zeros(8, dtype=pim.float32)
+        x[0] = 3.0
+        out = square_sum(x, x)       # capture with aliasing: a and b share
+        assert out.to_numpy()[0] == 12.0
+        x[0] = 5.0
+        out = square_sum(x, x)       # replay
+        assert out.to_numpy()[0] == 30.0
+        assert square_sum.captures == 1
+
+    def test_permuted_replay_after_optimized_capture(self):
+        _setup()
+
+        @pim.compile(opt_level=3)
+        def sub(a, b):
+            return a - b
+
+        x = pim.zeros(16, dtype=pim.float32)
+        y = pim.zeros(16, dtype=pim.float32)
+        x[0], y[0] = 10.0, 3.0
+        assert sub(x, y).to_numpy()[0] == 7.0
+        assert sub(y, x).to_numpy()[0] == -7.0  # swapped replay
+        assert x.to_numpy()[0] == 10.0 and y.to_numpy()[0] == 3.0
+        assert sub.captures == 1
+
+    def test_deferred_read_survives_optimization(self):
+        """The reduction feeding a returned ScalarRef must not be swept
+        as a dead temporary: its cell is re-read after every replay."""
+        _setup()
+
+        @pim.compile(opt_level=3)
+        def strided_total(a):
+            return a[::2].sum()
+
+        x = pim.zeros(32, dtype=pim.float32)
+        x[0], x[2] = 1.5, 2.5
+        assert float(strided_total(x)) == 4.0   # capture
+        x[2] = 10.5
+        assert float(strided_total(x)) == 12.0  # replay re-reads the cell
+        assert strided_total.captures == 1
+
+    def test_mid_trace_free_with_cell_reuse(self):
+        """A temporary freed mid-trace whose cells a *live* tensor then
+        reuses: the optimizer must keep every write the live tensor's
+        contents depend on."""
+        _setup()
+
+        @pim.compile(opt_level=3)
+        def churn(a):
+            tmp = a + 1.0
+            del tmp                   # cells return to the allocator
+            keep = a * 2.0            # may land in tmp's old cells
+            return keep
+
+        x = pim.zeros(16, dtype=pim.float32)
+        x[1] = 4.0
+        assert churn(x).to_numpy()[1] == 8.0
+        x[1] = 6.0
+        assert churn(x).to_numpy()[1] == 12.0
+        assert churn.captures == 1
+
+    def test_mid_stream_read_still_fails_loudly_when_optimized(self):
+        """The deferred-read overwrite check applies at every level."""
+        _setup()
+
+        @pim.compile(opt_level=3)
+        def bad(a, b):
+            s = (a * b)[0]
+            t = a + b
+            return s, t[0]
+
+        x = pim.zeros(8, dtype=pim.float32)
+        y = pim.zeros(8, dtype=pim.float32)
+        x[0], y[0] = 4.0, 5.0
+        with pytest.raises(pim.TraceError, match="overwrite"):
+            bad(x, y)
+
+    def test_view_output_of_optimized_graph(self):
+        _setup()
+
+        @pim.compile(opt_level=2)
+        def evens(a):
+            return (a * 2.0)[::2]
+
+        x = pim.zeros(16, dtype=pim.float32)
+        x[2] = 1.25
+        assert evens(x).to_numpy()[1] == 2.5
+        x[2] = 2.25
+        assert evens(x).to_numpy()[1] == 4.5
+
+
 class TestSignatureCache:
     def test_new_length_recaptures(self):
         _setup()
@@ -420,6 +666,24 @@ class TestTraceSession:
         raw = session.lower(optimize=False)
         tight = session.lower(optimize=True)
         assert len(tight) < len(raw)
+
+    def test_trace_lower_opt_level_with_kept_reads(self):
+        """The pim.trace() path: graph passes apply with in-stream reads
+        kept, and the optimized program still replays correctly."""
+        device, x, y = _setup()
+        with pim.trace() as session:
+            z = x * y + x
+            w = x * y - x          # recomputed product
+            total = w[0]           # in-stream scalar read
+        verbatim = session.lower(opt_level=0)
+        tuned = session.lower(opt_level=2)
+        assert len(tuned) < len(verbatim)
+        assert session.last_report is not None
+        assert session.last_report.passes.get("cse_dropped", 0) >= 1
+        before_z = z.to_numpy().copy()
+        response = device.run_program(tuned)  # idempotent recompute
+        assert np.array_equal(z.to_numpy(), before_z)
+        assert response is not None  # the kept read still responds
 
     def test_nested_trace_rejected(self):
         device, x, y = _setup()

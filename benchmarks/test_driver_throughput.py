@@ -1,9 +1,19 @@
-"""Figure 13 (third series) + driver cache ablation.
+"""Figure 13 (third series) + driver cache ablation + emission breakdown.
 
 Measures the host driver's micro-op generation rate into a memory buffer
 (the artifact appendix's methodology: micro-operations rerouted from the
 simulator to ``OPS[...]``), for every representative macro-instruction,
 with the compiled-sequence cache on and off.
+
+The per-op-type breakdown attributes each case's headroom: *gate
+building* (cold lowering cost, paid once per distinct instruction and
+then cached) versus steady-state *emission* (the per-macro cost of
+shipping the cached pre-encoded stream), against the chip's own
+consumption time for that macro's micro-ops. Short-bodied instructions
+(int add at ~tens of micro-ops/macro, int ``<`` likewise) give the chip
+well under a microsecond of work per macro, so their sub-1x headroom is
+the fixed per-macro emission dispatch — not gate building, which the
+cache already amortizes to zero.
 """
 
 import os
@@ -11,7 +21,11 @@ import os
 import pytest
 
 from repro.arch.config import PIMConfig
-from repro.driver.throughput import measure_driver_throughput
+from repro.driver.throughput import (
+    EmissionBreakdown,
+    measure_driver_throughput,
+    measure_gate_build_cost,
+)
 from repro.isa.dtypes import float32, int32
 from repro.isa.instructions import ROp
 
@@ -28,6 +42,7 @@ CASES = [
 ]
 
 _LINES = []
+_BREAKDOWN = []
 
 
 @pytest.fixture(scope="module")
@@ -45,13 +60,23 @@ def test_driver_throughput(benchmark, cfg, name, op, dtype):
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    build = measure_gate_build_cost(cfg, op, dtype, samples=12)
+    breakdown = EmissionBreakdown(result, build)
     benchmark.extra_info.update(
         micro_per_second=f"{result.micro_per_second:.3e}",
         headroom=f"{result.headroom:.2f}",
+        ops_per_macro=f"{result.ops_per_macro:.0f}",
     )
     _LINES.append(
         f"{name:<10} cached: {result.micro_per_second:9.3e} uops/s "
         f"(headroom {result.headroom:5.2f}x vs 300MHz chip)"
+    )
+    _BREAKDOWN.append(
+        f"{name:<10} {result.ops_per_macro:7.0f} uops/macro | "
+        f"emit {result.emit_seconds_per_macro * 1e6:7.2f} us/macro  "
+        f"build {build * 1e6:9.2f} us/macro (cold, cached away)  "
+        f"chip {result.chip_seconds_per_macro * 1e6:7.2f} us/macro | "
+        f"limit: {breakdown.bottleneck}"
     )
     assert result.micro_per_second > 1e6
 
@@ -84,7 +109,20 @@ def teardown_module(module):
     if not _LINES:
         return
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    text = "\n".join(["Host-driver throughput (buffer-sink methodology)", ""] + _LINES)
+    sections = ["Host-driver throughput (buffer-sink methodology)", ""] + _LINES
+    if _BREAKDOWN:
+        sections += [
+            "",
+            "Per-op-type emission breakdown (headroom attribution):",
+            "",
+        ] + _BREAKDOWN + [
+            "",
+            "Sub-1x headroom cases (int add, int <) are capped by the fixed",
+            "per-macro emission dispatch: their bodies are so short that the",
+            "chip consumes them in well under the host's per-macro overhead.",
+            "Gate building is fully amortized by the compiled-sequence cache.",
+        ]
+    text = "\n".join(sections)
     print("\n" + text)
     with open(os.path.join(RESULTS_DIR, "driver_throughput.txt"), "w") as handle:
         handle.write(text + "\n")

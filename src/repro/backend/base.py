@@ -24,7 +24,7 @@ Every backend exposes:
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -120,3 +120,22 @@ class Backend(abc.ABC):
     def cache_counters(self) -> Tuple[int, int]:
         """``(hits, misses)`` — what ``pim.Profiler`` snapshots."""
         return self.cache_hits, self.cache_misses
+
+    def replay_counters(self) -> Dict[str, int]:
+        """Program replays served per replay engine.
+
+        ``pim.Profiler`` snapshots this to attribute replays inside a
+        block to the vectorized super-step engine versus the per-op
+        thunk path. Backends without engine tiers report nothing.
+        """
+        return {}
+
+    def program_replay_info(self, program) -> Dict[str, object]:
+        """How this backend would replay a compiled program.
+
+        On the simulator backend: the selected engine and the program's
+        super-step segmentation counts (see
+        :meth:`repro.driver.program.MicroProgram.replay_summary`).
+        Backends with a single execution strategy report nothing.
+        """
+        return {}

@@ -33,10 +33,23 @@ class SimulatorBackend(Backend):
 
     name = "simulator"
 
-    def __init__(self, config: PIMConfig, move_cost: str = "unit", **driver_kwargs):
+    def __init__(
+        self,
+        config: PIMConfig,
+        move_cost: str = "unit",
+        replay_engine: Optional[str] = None,
+        **driver_kwargs,
+    ):
         super().__init__(config)
-        self.simulator = Simulator(config, move_cost=move_cost)
+        self.simulator = Simulator(
+            config, move_cost=move_cost, replay_engine=replay_engine
+        )
         self.driver = Driver(self.simulator, **driver_kwargs)
+
+    @property
+    def replay_engine(self) -> str:
+        """The simulator's program-replay engine (``pim.init`` kwarg)."""
+        return self.simulator.replay_engine
 
     # ------------------------------------------------------------------
     def execute(self, instr: Instruction) -> Optional[int]:
@@ -73,6 +86,49 @@ class SimulatorBackend(Backend):
         for instr in instructions:
             ops.extend(self.driver._lower_ops(instr))
         return self._walk_ops(ops)
+
+    def replay_counters(self):
+        return dict(self.simulator.replay_counters)
+
+    def program_replay_info(self, program):
+        """Engine selection + segmentation accounting for one program.
+
+        ``engine`` is what :meth:`run_program` will use under the current
+        setting: the vectorized super-step engine needs a self-masked
+        program (static per-replay accounting exists) and the packed
+        ``uint32`` word format; everything else replays through per-op
+        thunks. The remaining keys are the IR's
+        :meth:`~repro.driver.program.MicroProgram.replay_summary` at the
+        engine's run-length threshold, so ``gate_ops``/``fallback_ops``
+        reflect what a vectorized replay actually fuses.
+        """
+        from repro.sim import replay
+        from repro.sim.simulator import accounting_walk
+
+        info = dict(program.replay_summary(replay.MIN_RUN_OPS))
+        # The memoized plan is the authoritative answer (and free): only
+        # programs never replayed here, or replayed under a since-changed
+        # engine setting, need the eligibility predicate re-derived.
+        plan = self.simulator._plans.get(program)
+        if plan is not None and plan.requested == self.simulator.replay_engine:
+            info["engine"] = plan.engine
+            info["self_masked"] = plan.static_stats is not None
+            return info
+        self_masked = (
+            accounting_walk(
+                program.ops, self.config, self.simulator.move_cost,
+                strict=False,
+            )
+            is not None
+        )
+        vectorized = (
+            self.simulator.replay_engine == "vectorized"
+            and self_masked
+            and replay.lanes_supported(self.simulator.memory)
+        )
+        info["engine"] = "vectorized" if vectorized else "thunk"
+        info["self_masked"] = self_masked
+        return info
 
     def _walk_ops(self, ops) -> SimStats:
         from repro.arch.masks import RangeMask

@@ -32,15 +32,87 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.config import PIMConfig
-from repro.arch.micro_ops import MicroOp, ReadOp, encode
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    LogicHOp,
+    MicroOp,
+    ReadOp,
+    RowMaskOp,
+    encode,
+)
 
 #: The cache-key type: any hashable tuple assembled by the caller.
 ProgramKey = Hashable
+
+
+@dataclass(frozen=True)
+class SuperStep:
+    """One segment of a program's super-step decomposition.
+
+    A ``"gates"`` segment is a maximal run of consecutive
+    :class:`~repro.arch.micro_ops.LogicHOp`\\ s whose crossbar and row
+    masks are *statically known* (both were set by earlier operations of
+    the same program — always true for self-masked fused streams); the
+    vectorized replay engine lowers each such run into a handful of
+    fused bulk updates over the packed memory image. Every other
+    operation — mask changes, reads, writes, vertical logic, H-tree
+    moves, and gates executing under caller-set masks — is its own
+    ``"op"`` segment and replays through the per-op fallback path.
+
+    Attributes:
+        kind: ``"gates"`` or ``"op"``.
+        start: index of the segment's first op in ``program.ops``.
+        stop: one past the segment's last op.
+        xb: the ``(start, stop, step)`` crossbar mask the segment runs
+            under (``None`` when unknown or irrelevant).
+        row: the ``(start, stop, step)`` row mask, likewise.
+    """
+
+    kind: str
+    start: int
+    stop: int
+    xb: Optional[Tuple[int, int, int]] = None
+    row: Optional[Tuple[int, int, int]] = None
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def segment_super_steps(ops: Tuple[MicroOp, ...]) -> Tuple[SuperStep, ...]:
+    """Slice an op stream into :class:`SuperStep` segments.
+
+    Purely structural (geometry-independent): mask state is tracked as
+    the triples the stream itself establishes, and gate runs are broken
+    at every mask/read/write/vertical/move boundary.
+    """
+    segments: List[SuperStep] = []
+    xb = row = None
+    run_start: Optional[int] = None
+
+    def close_run(end: int) -> None:
+        nonlocal run_start
+        if run_start is not None:
+            segments.append(SuperStep("gates", run_start, end, xb, row))
+            run_start = None
+
+    for index, op in enumerate(ops):
+        if isinstance(op, LogicHOp) and xb is not None and row is not None:
+            if run_start is None:
+                run_start = index
+            continue
+        close_run(index)
+        segments.append(SuperStep("op", index, index + 1, xb, row))
+        if isinstance(op, CrossbarMaskOp):
+            xb = (op.start, op.stop, op.step)
+        elif isinstance(op, RowMaskOp):
+            row = (op.start, op.stop, op.step)
+    close_run(len(ops))
+    return tuple(segments)
 
 
 def config_fingerprint(config: PIMConfig) -> Tuple[int, int, int, int, int]:
@@ -97,6 +169,44 @@ class MicroProgram:
 
     def __iter__(self) -> Iterator[MicroOp]:
         return iter(self.ops)
+
+    @property
+    def super_steps(self) -> Tuple[SuperStep, ...]:
+        """The program's super-step decomposition (built once, memoized).
+
+        See :func:`segment_super_steps`; the simulator's vectorized
+        replay engine consumes this, and :meth:`replay_summary` reports
+        it.
+        """
+        cached = self.__dict__.get("_super_steps")
+        if cached is None:
+            cached = segment_super_steps(self.ops)
+            self.__dict__["_super_steps"] = cached
+        return cached
+
+    def replay_summary(self, min_run_ops: int = 1) -> Dict[str, int]:
+        """Segmentation accounting: how much of the stream can fuse.
+
+        Returns ``gate_runs`` (number of ``"gates"`` segments at least
+        ``min_run_ops`` long), ``gate_ops`` (ops inside them — the
+        fusable fraction), and ``fallback_ops`` (ops replayed one at a
+        time). Callers reporting what the vectorized engine *actually*
+        fuses must pass its run-length threshold
+        (:data:`repro.sim.replay.MIN_RUN_OPS`): shorter gate runs
+        execute through per-op thunks.
+        """
+        gate_runs = gate_ops = 0
+        for segment in self.super_steps:
+            if segment.kind == "gates" and len(segment) >= min_run_ops:
+                gate_runs += 1
+                gate_ops += len(segment)
+        return {
+            "ops": len(self.ops),
+            "super_steps": len(self.super_steps),
+            "gate_runs": gate_runs,
+            "gate_ops": gate_ops,
+            "fallback_ops": len(self.ops) - gate_ops,
+        }
 
     def encoded(self, word_size: int) -> "np.ndarray":
         """The stream as a ``np.uint64`` array of 64-bit operation words.

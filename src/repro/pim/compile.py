@@ -417,6 +417,19 @@ class CompiledFunction:
         """
         return self._entry_for(args).report
 
+    def replay_info(self, *args):
+        """Replay-engine accounting for a signature (capturing if new).
+
+        On the simulator backend: the engine replays will use
+        (``"vectorized"`` super-steps or per-op ``"thunk"``\\ s) plus the
+        fused program's super-step segmentation counts — how much of the
+        stream executes as bulk fused updates versus op-at-a-time (see
+        :meth:`repro.backend.base.Backend.program_replay_info`). Empty on
+        backends with a single execution strategy.
+        """
+        entry = self._entry_for(args)
+        return entry.device.backend.program_replay_info(entry.program)
+
     def clear(self) -> None:
         """Drop every cached graph (releases the reserved cells)."""
         for entry in self._cache.values():

@@ -291,9 +291,11 @@ def init(
     Keyword arguments matching :class:`~repro.arch.config.PIMConfig`
     fields construct a config directly (``pim.init(crossbars=4, rows=64)``);
     the rest are forwarded to the backend (e.g. ``parallelism="serial"``,
-    ``cache_size=0``, ``move_cost="htree"``). ``backend`` selects the
-    execution engine: ``"simulator"`` (default, bit-accurate) or
-    ``"numpy"`` (fast functional model, same cycle accounting).
+    ``cache_size=0``, ``move_cost="htree"``, or the simulator backend's
+    ``replay_engine="thunk"`` to disable vectorized super-step replay).
+    ``backend`` selects the execution engine: ``"simulator"`` (default,
+    bit-accurate) or ``"numpy"`` (fast functional model, same cycle
+    accounting).
 
     The previous default device (if any) is closed: tensors allocated on
     it raise a clear error instead of touching stale state.

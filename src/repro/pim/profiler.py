@@ -40,6 +40,11 @@ class Profiler:
         #: inside the block (``opt_level >= 1`` captures): the pre- vs
         #: post-optimization instruction and cycle counts.
         self.opt_reports: list = []
+        #: Compiled-program replays inside the block, per replay engine
+        #: (simulator backend: ``"vectorized"`` super-step replays vs
+        #: per-op ``"thunk"`` replays; empty on single-engine backends).
+        self.replay_counts: dict = {}
+        self._replay_before: dict = {}
 
     @property
     def device(self) -> PIMDevice:
@@ -52,6 +57,7 @@ class Profiler:
         # list, so entries present at __enter__ may be trimmed away by
         # in-block lowerings (the held references keep their ids unique).
         self._reports_before = tuple(self.device.opt_reports)
+        self._replay_before = self.device.backend.replay_counters()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -65,12 +71,24 @@ class Profiler:
             for report in self.device.opt_reports
             if id(report) not in seen
         ]
+        after = self.device.backend.replay_counters()
+        self.replay_counts = {
+            engine: count - self._replay_before.get(engine, 0)
+            for engine, count in after.items()
+            if count - self._replay_before.get(engine, 0)
+        }
         if self.echo and exc_type is None:
             print(self.stats.summary())
             print(
                 f"  program cache  {self.cache_hits} hits / "
                 f"{self.cache_misses} misses"
             )
+            if self.replay_counts:
+                detail = " / ".join(
+                    f"{count} {engine}"
+                    for engine, count in sorted(self.replay_counts.items())
+                )
+                print(f"  program replays  {detail}")
             for report in self.opt_reports:
                 print(f"  {report.summary()}")
 

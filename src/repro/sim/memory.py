@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.config import PIMConfig
+from repro.arch.masks import RangeMask
 
 
 class CrossbarMemory:
@@ -84,6 +85,44 @@ class CrossbarMemory:
                 (self.words[crossbar].T >> np.uint32(partition)) & 1
             ).astype(bool)
         return bits
+
+    def region(self, xb: RangeMask, reg: int, row: RangeMask) -> np.ndarray:
+        """Strided ``(crossbars, rows)`` view of one register's words.
+
+        The bulk word-view used by both replay engines: the masked
+        region a horizontal logic operation updates in place.
+        """
+        return self.words[
+            xb.start : xb.stop + 1 : xb.step,
+            reg,
+            row.start : row.stop + 1 : row.step,
+        ]
+
+    def pack_lanes(self, xb: RangeMask, reg: int, row: RangeMask) -> int:
+        """Pack a register's masked region into one guard-laned integer.
+
+        Each word of the region occupies a 64-bit *lane* of the result
+        (low ``word_size`` bits the word, high bits zero guard space), in
+        row-major ``(crossbars, rows)`` order. With every partition shift
+        bounded by ``partitions <= word_size <= 32``, shifted bits never
+        escape a lane's 64 bits, so a whole region-wide logic operation
+        is a handful of arbitrary-precision bitwise operations — the
+        vectorized replay engine's representation. Requires the packed
+        ``uint32`` word format (``word_size <= 32``).
+        """
+        return int.from_bytes(
+            self.region(xb, reg, row).astype("<u8").tobytes(), "little"
+        )
+
+    def unpack_lanes(
+        self, xb: RangeMask, reg: int, row: RangeMask, value: int
+    ) -> None:
+        """Write a :meth:`pack_lanes` integer back into the region."""
+        lanes = len(xb) * len(row)
+        flat = np.frombuffer(value.to_bytes(lanes * 8, "little"), dtype="<u8")
+        self.region(xb, reg, row)[...] = flat.astype(self._dtype).reshape(
+            len(xb), len(row)
+        )
 
     def fill(self, value: int) -> None:
         """Set every word of the memory to ``value`` (testing helper)."""

@@ -12,13 +12,12 @@ cycles are counted).
 from __future__ import annotations
 
 import weakref
-from functools import lru_cache, partial
+from functools import partial
 from typing import Callable, Iterable, Optional
 
 import numpy as np
 
 from repro.arch.config import PIMConfig
-from repro.arch.halfgates import expand_pattern
 from repro.arch.htree import move_cycles, validate_move_pattern
 from repro.arch.masks import RangeMask
 from repro.arch.micro_ops import (
@@ -32,7 +31,9 @@ from repro.arch.micro_ops import (
     RowMaskOp,
     WriteOp,
 )
+from repro.sim import replay
 from repro.sim.memory import CrossbarMemory
+from repro.sim.replay import _pattern_mask  # noqa: F401  (re-export)
 from repro.sim.stats import SimStats
 
 
@@ -42,31 +43,6 @@ class SimulationError(Exception):
 
 _GATE_KEYS_H = {gate: f"logic_h_{gate.name.lower()}" for gate in GateType}
 _GATE_KEYS_V = {gate: f"logic_v_{gate.name.lower()}" for gate in GateType}
-
-
-@lru_cache(maxsize=65536)
-def _pattern_mask(
-    gate: GateType,
-    p_a: int,
-    p_b: int,
-    p_out: int,
-    p_end: int,
-    p_step: int,
-    partitions: int,
-) -> "tuple[int, int]":
-    """(output-partition bitmask, gate count) of a validated pattern.
-
-    Pattern validation (section disjointness, partition ranges) happens in
-    :func:`expand_pattern`; patterns repeat constantly across a program, so
-    the result is cached on the pattern fields.
-    """
-    op = LogicHOp(gate, 0, 0, 0, p_a=p_a, p_b=p_b, p_out=p_out,
-                  p_end=p_end, p_step=p_step)
-    gates = expand_pattern(op, partitions)
-    mask = 0
-    for _, out_p in gates:
-        mask |= 1 << out_p
-    return mask, len(gates)
 
 
 def accounting_walk(
@@ -159,6 +135,42 @@ def accounting_walk(
     return delta
 
 
+class ReplayPlan:
+    """A compiled program's pre-resolved replay recipe (one per program).
+
+    Attributes:
+        steps: the replay callables — per-op thunks, or a mix of thunks
+            and :class:`~repro.sim.replay.GateRun` super-steps.
+        region_cache: the register-view memo the thunk steps share.
+        static_stats: the per-replay stats delta for self-masked
+            programs (``None`` when accounting must be dynamic).
+        engine: the engine the plan executes with (``"vectorized"`` or
+            ``"thunk"`` — the latter also covers non-self-masked
+            fallbacks under a vectorized-engine simulator).
+        requested: the simulator's engine setting the plan was built
+            under; a changed setting invalidates the plan.
+        entry_clear: whether :attr:`region_cache` must be dropped at
+            replay start — True only when some gate step can execute
+            under caller-set masks (before the program's first mask
+            operation), where a view cached by an earlier replay may
+            belong to masks since changed externally.
+    """
+
+    __slots__ = (
+        "steps", "region_cache", "static_stats", "engine", "requested",
+        "entry_clear",
+    )
+
+    def __init__(self, steps, region_cache, static_stats, engine, requested,
+                 entry_clear):
+        self.steps = steps
+        self.region_cache = region_cache
+        self.static_stats = static_stats
+        self.engine = engine
+        self.requested = requested
+        self.entry_clear = entry_clear
+
+
 class Simulator:
     """A bit-accurate digital PIM chip model.
 
@@ -168,15 +180,29 @@ class Simulator:
             paper's micro-op-count metric); ``"htree"`` charges one cycle
             per traversed H-tree segment of the longest pair (used by the
             H-tree ablation benchmark).
+        replay_engine: ``"vectorized"`` (the default) replays self-masked
+            compiled programs as fused super-steps over the packed memory
+            image (see :mod:`repro.sim.replay`); ``"thunk"`` forces the
+            per-op callable path everywhere. Defaults from the
+            ``REPRO_SIM_REPLAY`` environment variable. Either engine is
+            bit-identical and cycle-identical to op-by-op execution.
     """
 
-    def __init__(self, config: PIMConfig, move_cost: str = "unit"):
+    def __init__(
+        self,
+        config: PIMConfig,
+        move_cost: str = "unit",
+        replay_engine: Optional[str] = None,
+    ):
         if move_cost not in ("unit", "htree"):
             raise ValueError("move_cost must be 'unit' or 'htree'")
         self.config = config
         self.memory = CrossbarMemory(config)
         self.stats = SimStats()
         self.move_cost = move_cost
+        self.replay_engine = replay.resolve_engine(replay_engine)
+        #: Replays served per engine (``pim.Profiler`` reports deltas).
+        self.replay_counters = {engine: 0 for engine in replay.ENGINES}
         self._xb_mask = RangeMask.all(config.crossbars)
         self._row_mask = RangeMask.all(config.rows)
         # Replay plans for compiled programs, built once per program and
@@ -215,31 +241,35 @@ class Simulator:
         The fast path of the compile/replay pipeline: the program was
         validated once at compile time, so replay skips the per-op
         ``isinstance`` dispatch and range checks of :meth:`execute`.  On
-        first sight of a program this builds a *replay plan* — a list of
-        zero-argument callables with all per-op constants (gate-pattern
-        masks, shift amounts, mask objects) pre-resolved — and memoizes it
-        on the program object.  Profiling counters are recorded exactly as
-        in op-by-op execution, so cycle accounting is unchanged.
+        first sight of a program this builds a :class:`ReplayPlan` —
+        with the configured :attr:`replay_engine`, fused
+        :class:`~repro.sim.replay.GateRun` super-steps where the program
+        supports them, per-op callables with pre-resolved constants
+        everywhere else — and memoizes it on the program object.
+        Profiling counters are recorded exactly as in op-by-op
+        execution, so cycle accounting is unchanged.
 
         Returns the response word of the last :class:`ReadOp` in the
         program (``None`` if it contains no reads).
         """
         plan = self._plans.get(program)
-        if plan is None:
+        if plan is None or plan.requested != self.replay_engine:
             plan = self._compile_plan(program)
             self._plans[program] = plan
-        steps, region_cache, static_stats = plan
-        # Views cached during an earlier replay may belong to different
-        # masks set in between; start every replay from a clean slate.
-        region_cache.clear()
+        if plan.entry_clear:
+            # A gate step may run under caller-set masks: views cached by
+            # an earlier replay could belong to masks changed in between.
+            plan.region_cache.clear()
+        self.replay_counters[plan.engine] += 1
+        static_stats = plan.static_stats
         if program.reads == 0:
-            for step in steps:
+            for step in plan.steps:
                 step()
             if static_stats is not None:
                 self.stats.merge(static_stats)
             return None
         response: Optional[int] = None
-        for step in steps:
+        for step in plan.steps:
             result = step()
             if result is not None:
                 response = result
@@ -250,7 +280,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Replay-plan construction
     # ------------------------------------------------------------------
-    def _compile_plan(self, program):
+    def _compile_plan(self, program) -> ReplayPlan:
         from repro.driver.program import config_fingerprint
 
         if program.config_fingerprint != config_fingerprint(self.config):
@@ -260,23 +290,56 @@ class Simulator:
                 f"{config_fingerprint(self.config)}"
             )
         # Register-region views are identical between mask changes; the
-        # plan's steps share this memo (cleared on every mask step and at
-        # replay start) so a long gate body builds each view only once.
+        # plan's thunk steps share this memo (cleared on every mask step,
+        # and at replay entry when a gate can precede the first mask op)
+        # so a long gate body builds each view only once.
         region_cache: dict = {}
         # A *self-masked* program (every stats-mask-dependent op runs
         # under masks the program itself set — true for fused graph
         # streams) has a statically known stats delta: record it once at
         # plan time, build silent steps, and merge the delta per replay
-        # instead of paying a counter update per micro-op.
+        # instead of paying a counter update per micro-op. It is also
+        # the eligibility condition for the vectorized engine (gate runs
+        # with statically known masks and accounting).
         static_stats = self._static_stats(program)
+        requested = self.replay_engine
         if static_stats is not None:
+            if requested == "vectorized" and replay.lanes_supported(self.memory):
+                steps = replay.build_vector_steps(program, self, region_cache)
+                return ReplayPlan(
+                    steps, region_cache, static_stats,
+                    engine="vectorized", requested=requested,
+                    entry_clear=False,
+                )
             steps = [
                 self._plan_step(op, region_cache, silent=True)
                 for op in program.ops
             ]
         else:
             steps = [self._plan_step(op, region_cache) for op in program.ops]
-        return steps, region_cache, static_stats
+        return ReplayPlan(
+            steps, region_cache, static_stats,
+            engine="thunk", requested=requested,
+            entry_clear=self._entry_clear_needed(program.ops),
+        )
+
+    @staticmethod
+    def _entry_clear_needed(ops) -> bool:
+        """Must the region cache be dropped at replay entry?
+
+        Only when a horizontal gate (the one region-cache consumer) can
+        execute before the program's first mask operation — i.e. under
+        caller-set masks, as in the driver's per-R-type body programs.
+        Self-masked programs always set masks first, so their cached
+        views are rebuilt by the mask steps of the same replay and can
+        safely persist across replays.
+        """
+        for op in ops:
+            if isinstance(op, (CrossbarMaskOp, RowMaskOp)):
+                return False
+            if isinstance(op, LogicHOp):
+                return True
+        return False
 
     def _static_stats(self, program) -> Optional[SimStats]:
         """The per-replay stats delta, when it is mask-independent.
@@ -489,12 +552,7 @@ class Simulator:
 
     def _reg_region(self, reg: int) -> np.ndarray:
         """Masked (crossbars, rows) view of one register's words."""
-        xm, rm = self._xb_mask, self._row_mask
-        return self.memory.words[
-            xm.start : xm.stop + 1 : xm.step,
-            reg,
-            rm.start : rm.stop + 1 : rm.step,
-        ]
+        return self.memory.region(self._xb_mask, reg, self._row_mask)
 
     def _shift(self, words: np.ndarray, amount: int) -> np.ndarray:
         """Shift packed words by a (possibly negative) partition offset."""

@@ -8,15 +8,18 @@ reduction), then every program is executed:
 - eagerly on the bit-accurate simulator backend,
 - eagerly on the NumPy functional backend,
 - under ``pim.compile`` at every ``opt_level`` (0..3) on both backends,
-  capture and replay;
+  capture and replay — on the simulator backend with *both* replay
+  engines (the vectorized super-step engine and the per-op thunk
+  engine, see :mod:`repro.sim.replay`);
 
 and cross-checked against a NumPy *mirror* built from
 ``repro.theory.golden`` (the paper's trusted-CPU reference semantics).
 Assertions: every execution's outputs — tensors (raw bits), the reduced
 scalar, and the final contents of (possibly mutated) argument tensors —
 are bit-identical to the mirror, profiled cycle totals match between the
-two backends at every level, and level-0 replay is cycle-exact with
-eager execution.
+two backends at every level, level-0 replay is cycle-exact with eager
+execution, and the two simulator replay engines leave bit-identical
+memory images with identical ``SimStats`` at every level.
 
 Seeds are pinned so failures reproduce; CI's fuzz job rotates them via
 ``REPRO_FUZZ_SEEDS`` (space/comma-separated ints). On failure the
@@ -464,30 +467,59 @@ def _run_case(seed: int):
         pim.reset()
     assert eager_cycles["simulator"] == eager_cycles["numpy"], f"seed={seed}"
 
-    # Compiled at every opt_level on both backends -----------------------
+    # Compiled at every opt_level on both backends — the simulator
+    # backend additionally under both replay engines ---------------------
     replay_cycles = {}
+    engine_state = {}
     for backend in ("simulator", "numpy"):
+        engines = ("vectorized", "thunk") if backend == "simulator" else (None,)
         for level in pim.OPT_LEVELS:
-            device = pim.init(crossbars=CROSSBARS, rows=ROWS, backend=backend)
-            tensors = _fresh_inputs(int_inputs, float_inputs)
-            func = pim.compile(
-                lambda *args: program(*args), opt_level=level, cache_size=2
-            )
-            context = f"seed={seed} {backend} O{level}"
-            outputs, scalar = func(*tensors)  # capture
-            _check_outputs(outputs, scalar, tensors, mirror, context + " capture")
-            for round_ in range(2):  # cached replays
-                _reload(tensors, int_inputs, float_inputs)
-                before = device.stats_snapshot()
-                outputs, scalar = func(*tensors)
-                cycles = device.backend.stats.diff(before).cycles
-                _check_outputs(
-                    outputs, scalar, tensors, mirror,
-                    f"{context} replay {round_}",
+            for engine in engines:
+                backend_kwargs = {"replay_engine": engine} if engine else {}
+                device = pim.init(
+                    crossbars=CROSSBARS, rows=ROWS, backend=backend,
+                    **backend_kwargs,
                 )
-            assert func.captures == 1, context
-            replay_cycles[(backend, level)] = cycles
-            pim.reset()
+                tensors = _fresh_inputs(int_inputs, float_inputs)
+                func = pim.compile(
+                    lambda *args: program(*args), opt_level=level, cache_size=2
+                )
+                context = f"seed={seed} {backend} O{level}" + (
+                    f" {engine}" if engine else ""
+                )
+                outputs, scalar = func(*tensors)  # capture
+                _check_outputs(
+                    outputs, scalar, tensors, mirror, context + " capture"
+                )
+                for round_ in range(2):  # cached replays
+                    _reload(tensors, int_inputs, float_inputs)
+                    before = device.stats_snapshot()
+                    outputs, scalar = func(*tensors)
+                    delta = device.backend.stats.diff(before)
+                    _check_outputs(
+                        outputs, scalar, tensors, mirror,
+                        f"{context} replay {round_}",
+                    )
+                assert func.captures == 1, context
+                if engine is not None:
+                    engine_state[(level, engine)] = (
+                        device.backend.words.copy(), delta
+                    )
+                if engine != "thunk":
+                    replay_cycles[(backend, level)] = delta.cycles
+                pim.reset()
+
+    # The two simulator replay engines must be indistinguishable: same
+    # final memory image, same per-replay SimStats, at every level.
+    for level in pim.OPT_LEVELS:
+        words_v, stats_v = engine_state[(level, "vectorized")]
+        words_t, stats_t = engine_state[(level, "thunk")]
+        assert np.array_equal(words_v, words_t), (
+            f"seed={seed} O{level}: replay-engine memory images diverge"
+        )
+        assert stats_v == stats_t, (
+            f"seed={seed} O{level}: replay-engine stats diverge"
+        )
 
     for level in pim.OPT_LEVELS:
         assert (

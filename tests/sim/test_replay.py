@@ -1,0 +1,342 @@
+"""Tests for the vectorized replay engine and its fallback ladder.
+
+Covers the correctness obligations of ``repro.sim.replay``:
+
+- super-step segmentation of the program IR (gate runs broken at every
+  mask/read/write/vertical/move boundary, masks tracked statically);
+- bit-identical memory and identical stats between op-by-op execution,
+  thunk replay, and vectorized replay, on randomized op streams that
+  exercise every op kind;
+- the engine fallback ladder: non-self-masked programs, wide-word
+  configs, and ``REPRO_SIM_REPLAY=thunk`` all take the thunk path;
+- the region-cache entry-clear fix: self-masked programs keep cached
+  views across replays, while body programs replayed under caller-set
+  masks (the unsafe case) still see fresh views;
+- lane packing round-trips on the bulk memory helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import PIMConfig, small_config
+from repro.arch.masks import RangeMask
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    GateType,
+    LogicHOp,
+    LogicVOp,
+    MoveOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+)
+from repro.driver.compiler import compile_ops
+from repro.driver.program import MicroProgram, segment_super_steps
+from repro.sim import replay
+from repro.sim.memory import CrossbarMemory
+from repro.sim.simulator import Simulator
+
+CFG = small_config(crossbars=4, rows=8)
+
+
+def _gate(out, in_a, in_b, gate=GateType.NOR, p_out=2, p_a=0, p_b=1):
+    return LogicHOp(gate, in_a, in_b, out, p_a=p_a, p_b=p_b, p_out=p_out,
+                    p_end=p_out, p_step=1)
+
+
+def _init1(out, p_end=None):
+    p_end = CFG.partitions - 1 if p_end is None else p_end
+    return LogicHOp(GateType.INIT1, 0, 0, out, p_a=0, p_b=0, p_out=0,
+                    p_end=p_end, p_step=1)
+
+
+def _masked(ops):
+    return [CrossbarMaskOp(0, CFG.crossbars - 1, 1),
+            RowMaskOp(0, CFG.rows - 1, 1)] + list(ops)
+
+
+class TestSegmentation:
+    def test_gates_fuse_between_boundaries(self):
+        ops = tuple(_masked([
+            _init1(3), _gate(3, 0, 1),
+            RowMaskOp(0, 0, 1),
+            _init1(4), _gate(4, 1, 2), _gate(5, 2, 3),
+        ]))
+        segments = segment_super_steps(ops)
+        kinds = [(s.kind, len(s)) for s in segments]
+        assert kinds == [
+            ("op", 1), ("op", 1), ("gates", 2), ("op", 1), ("gates", 3),
+        ]
+        first, second = [s for s in segments if s.kind == "gates"]
+        assert first.row == (0, CFG.rows - 1, 1)
+        assert second.row == (0, 0, 1)
+        assert first.xb == second.xb == (0, CFG.crossbars - 1, 1)
+
+    def test_every_non_gate_op_is_a_boundary(self):
+        ops = tuple(_masked([
+            _init1(3),
+            LogicVOp(GateType.INIT1, 0, 1, 3),
+            _init1(4),
+            WriteOp(2, 7),
+            _gate(4, 0, 1),
+            ReadOp(2),
+            _gate(5, 0, 1),
+            MoveOp(1, 0, 0, 3, 4),
+            _gate(6, 0, 1),
+        ]))
+        segments = segment_super_steps(ops)
+        gate_spans = [s for s in segments if s.kind == "gates"]
+        # Every gate is isolated: boundaries on both sides.
+        assert [len(s) for s in gate_spans] == [1, 1, 1, 1, 1]
+
+    def test_gates_before_masks_stay_fallback_ops(self):
+        ops = (_init1(3), _gate(3, 0, 1))
+        segments = segment_super_steps(ops)
+        assert all(s.kind == "op" for s in segments)
+
+    def test_replay_summary_counts(self):
+        program = MicroProgram.from_ops(
+            _masked([_init1(3), _gate(3, 0, 1), ReadOp(3)]), "p", CFG
+        )
+        summary = program.replay_summary()
+        assert summary == {
+            "ops": 5, "super_steps": 4, "gate_runs": 1, "gate_ops": 2,
+            "fallback_ops": 3,
+        }
+        # Runs below a caller's fusion threshold count as fallback ops.
+        assert program.replay_summary(min_run_ops=3) == {
+            "ops": 5, "super_steps": 4, "gate_runs": 0, "gate_ops": 0,
+            "fallback_ops": 5,
+        }
+        assert program.super_steps is program.super_steps  # memoized
+
+
+def _random_self_masked_ops(rng, config=CFG, length=120):
+    """A self-masked stream exercising every op kind, valid by construction."""
+    ops = [CrossbarMaskOp(0, config.crossbars - 1, 1),
+           RowMaskOp(0, config.rows - 1, 1)]
+    registers = config.registers
+    partitions = config.partitions
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.55:
+            gate = GateType(rng.integers(0, 4))
+            if gate in (GateType.INIT0, GateType.INIT1):
+                # INITs take arbitrary multi-gate patterns.
+                p_step = int(rng.choice([1, 2]))
+                span = int(rng.integers(0, 3))
+                p_out = int(rng.integers(0, partitions - span * p_step))
+                p_end = p_out + span * p_step
+                p_a = p_b = p_out
+            else:
+                # Single-gate NOT/NOR with disjoint input sections.
+                p_out = int(rng.integers(2, partitions))
+                p_end = p_out
+                p_step = 1
+                p_a = p_out - 2 if gate == GateType.NOR else p_out - 1
+                p_b = p_out - 1
+            ops.append(LogicHOp(
+                gate,
+                int(rng.integers(0, registers)),
+                int(rng.integers(0, registers)),
+                int(rng.integers(0, registers)),
+                p_a=p_a, p_b=p_b, p_out=p_out, p_end=p_end, p_step=p_step,
+            ))
+        elif roll < 0.70:
+            ops.append(WriteOp(int(rng.integers(0, registers)),
+                               int(rng.integers(0, 1 << 16))))
+        elif roll < 0.80:
+            gate = GateType(rng.integers(0, 3))  # INIT0/INIT1/NOT
+            ops.append(LogicVOp(
+                gate,
+                int(rng.integers(0, config.rows)),
+                int(rng.integers(0, config.rows)),
+                int(rng.integers(0, registers)),
+            ))
+        elif roll < 0.90:
+            # New masks (sub-ranges keep later gates/moves valid).
+            ops.append(CrossbarMaskOp(0, int(rng.integers(0, config.crossbars)), 1))
+            ops.append(RowMaskOp(0, int(rng.integers(0, config.rows)), 1))
+        else:
+            # A validated H-tree move: single-crossbar mask, distance 1.
+            src = int(rng.integers(0, config.crossbars - 1))
+            ops.append(CrossbarMaskOp(src, src, 1))
+            ops.append(MoveOp(1, 0, 0,
+                              int(rng.integers(0, registers)),
+                              int(rng.integers(0, registers))))
+            ops.append(CrossbarMaskOp(0, config.crossbars - 1, 1))
+            ops.append(RowMaskOp(0, config.rows - 1, 1))
+    # Single-cell masks, then a trailing read.
+    ops.append(CrossbarMaskOp(0, 0, 1))
+    ops.append(RowMaskOp(0, 0, 1))
+    ops.append(ReadOp(int(rng.integers(0, registers))))
+    return ops
+
+
+def _seed_memory(sim, rng):
+    shape = sim.memory.words.shape
+    sim.memory.words[...] = rng.integers(
+        0, 1 << 32, size=shape, dtype=np.uint64
+    ).astype(sim.memory.dtype)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 2024])
+def test_vectorized_replay_is_bit_identical(seed):
+    rng = np.random.default_rng(seed)
+    ops = _random_self_masked_ops(rng)
+    program = compile_ops(ops, CFG, optimize=False)
+
+    reference = Simulator(CFG)
+    _seed_memory(reference, np.random.default_rng(seed + 1))
+    for op in ops[:-1]:
+        reference.execute(op)
+    expected_read = reference.execute(ops[-1])
+
+    for engine in ("vectorized", "thunk"):
+        sim = Simulator(CFG, replay_engine=engine)
+        _seed_memory(sim, np.random.default_rng(seed + 1))
+        response = sim.execute_program(program)
+        assert response == expected_read, engine
+        assert np.array_equal(sim.memory.words, reference.memory.words), engine
+        assert sim.stats == reference.stats, engine
+        assert sim.replay_counters[engine] == 1
+
+
+class TestEngineSelection:
+    def _self_masked_program(self):
+        return compile_ops(
+            _masked([_init1(3), _gate(3, 0, 1)]), CFG, optimize=False
+        )
+
+    def test_self_masked_program_vectorizes(self):
+        sim = Simulator(CFG, replay_engine="vectorized")
+        sim.execute_program(self._self_masked_program())
+        assert sim.replay_counters == {"vectorized": 1, "thunk": 0}
+
+    def test_body_program_falls_back_to_thunks(self):
+        """Gates under caller-set masks: no static accounting, no runs."""
+        program = compile_ops([_init1(3), _gate(3, 0, 1)], CFG, optimize=False)
+        sim = Simulator(CFG, replay_engine="vectorized")
+        sim.execute_program(program)
+        assert sim.replay_counters == {"vectorized": 0, "thunk": 1}
+
+    def test_wide_words_fall_back_to_thunks(self):
+        wide = PIMConfig(crossbars=4, rows=8, columns=2048,
+                         partitions=64, word_size=64)
+        program = compile_ops(
+            [CrossbarMaskOp(0, 3, 1), RowMaskOp(0, 7, 1),
+             LogicHOp(GateType.INIT1, 0, 0, 3, p_a=0, p_b=0, p_out=0,
+                      p_end=63, p_step=1),
+             LogicHOp(GateType.NOR, 0, 1, 2, p_a=0, p_b=1, p_out=2,
+                      p_end=2, p_step=1)],
+            wide, optimize=False,
+        )
+        sim = Simulator(wide, replay_engine="vectorized")
+        assert not replay.lanes_supported(sim.memory)
+        sim.execute_program(program)
+        assert sim.replay_counters == {"vectorized": 0, "thunk": 1}
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv(replay.ENGINE_ENV, "thunk")
+        sim = Simulator(CFG)
+        assert sim.replay_engine == "thunk"
+        sim.execute_program(self._self_masked_program())
+        assert sim.replay_counters["thunk"] == 1
+
+    def test_invalid_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="replay engine"):
+            Simulator(CFG, replay_engine="gpu")
+        monkeypatch.setenv(replay.ENGINE_ENV, "nonsense")
+        with pytest.raises(ValueError, match="REPRO_SIM_REPLAY"):
+            Simulator(CFG)
+
+    def test_program_replay_info_matches_plan(self):
+        """The derived eligibility predicate and the memoized plan agree."""
+        from repro.backend.simulator import SimulatorBackend
+
+        for engine, expected in (("vectorized", "vectorized"),
+                                 ("thunk", "thunk")):
+            backend = SimulatorBackend(CFG, replay_engine=engine)
+            program = compile_ops(
+                _masked([_init1(3), _gate(3, 0, 1)]), CFG, optimize=False
+            )
+            derived = backend.program_replay_info(program)  # no plan yet
+            backend.simulator.execute_program(program)
+            from_plan = backend.program_replay_info(program)  # memoized plan
+            assert derived == from_plan
+            assert from_plan["engine"] == expected
+            assert from_plan["self_masked"] is True
+
+    def test_engine_switch_rebuilds_plan(self):
+        sim = Simulator(CFG, replay_engine="vectorized")
+        program = self._self_masked_program()
+        sim.execute_program(program)
+        sim.replay_engine = "thunk"
+        sim.execute_program(program)
+        assert sim.replay_counters == {"vectorized": 1, "thunk": 1}
+
+
+class TestRegionCachePersistence:
+    def test_self_masked_plans_skip_entry_clear(self):
+        sim = Simulator(CFG, replay_engine="thunk")
+        program = compile_ops(
+            _masked([_init1(3), _gate(3, 0, 1)]), CFG, optimize=False
+        )
+        before = sim.memory.words.copy()
+        sim.execute_program(program)
+        plan = sim._plans[program]
+        assert plan.entry_clear is False
+        # Cached views persist into the next replay (no entry clear) and
+        # the replayed effect stays correct: INIT1 fills register 3
+        # everywhere, the NOR of two all-zero registers pulls nothing.
+        sim.execute_program(program)
+        expected = before.copy()
+        expected[:, 3, :] = sim.memory.word_mask
+        assert np.array_equal(sim.memory.words, expected)
+        assert sim.replay_counters["thunk"] == 2
+
+    def test_body_program_under_changed_masks_stays_correct(self):
+        """The unsafe case: gates before any mask op (driver R-type
+        bodies) replayed under different caller-set masks must not reuse
+        views cached by the previous replay."""
+        program = compile_ops([_init1(3)], CFG, optimize=False)
+        sim = Simulator(CFG, replay_engine="vectorized")
+        plan_probe = Simulator(CFG, replay_engine="thunk")
+        assert plan_probe._compile_plan(program).entry_clear is True
+
+        sim.execute(CrossbarMaskOp(0, 0, 1))
+        sim.execute(RowMaskOp(0, 0, 1))
+        sim.execute_program(program)
+        first = sim.memory.words.copy()
+        assert first[0, 3, 0] == sim.memory.word_mask
+        assert first[1, 3, 1] == 0
+
+        sim.execute(CrossbarMaskOp(1, 1, 1))
+        sim.execute(RowMaskOp(1, 1, 1))
+        sim.execute_program(program)
+        assert sim.memory.words[1, 3, 1] == sim.memory.word_mask
+        assert sim.memory.words[2, 3, 2] == 0
+
+
+class TestLaneHelpers:
+    def test_pack_unpack_roundtrip(self):
+        memory = CrossbarMemory(CFG)
+        rng = np.random.default_rng(7)
+        memory.words[...] = rng.integers(
+            0, 1 << 32, size=memory.words.shape, dtype=np.uint64
+        ).astype(memory.dtype)
+        xb = RangeMask(0, 2, 2)
+        row = RangeMask(1, 5, 2)
+        before = memory.words.copy()
+        packed = memory.pack_lanes(xb, 2, row)
+        memory.unpack_lanes(xb, 2, row, packed)
+        assert np.array_equal(memory.words, before)
+
+    def test_unpack_writes_only_the_region(self):
+        memory = CrossbarMemory(CFG)
+        xb, row = RangeMask(1, 1, 1), RangeMask(2, 3, 1)
+        value = memory.pack_lanes(xb, 0, row) | 0b101 | (0b11 << 64)
+        memory.unpack_lanes(xb, 0, row, value)
+        assert memory.words[1, 0, 2] == 0b101
+        assert memory.words[1, 0, 3] == 0b11
+        assert memory.words.sum() == 0b101 + 0b11  # nothing else touched

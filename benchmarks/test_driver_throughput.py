@@ -5,15 +5,22 @@ Measures the host driver's micro-op generation rate into a memory buffer
 simulator to ``OPS[...]``), for every representative macro-instruction,
 with the compiled-sequence cache on and off.
 
+Two emission paths are measured per op type: the legacy *per-macro*
+dispatch (``Driver.execute``, one Python round-trip per macro) and the
+*whole-stream* plans of :mod:`repro.driver.stream`
+(``Driver.execute_stream``, one cached fused program per 64-macro
+stream). The stream path is the headline number — it is what compiled
+graphs and stream-aware hosts pay — and the CI gate: **every** op type,
+including the short-bodied int add / int ``<`` that cap per-macro
+dispatch below 1x, must clear 1x headroom against the 300MHz chip.
+
 The per-op-type breakdown attributes each case's headroom: *gate
 building* (cold lowering cost, paid once per distinct instruction and
 then cached) versus steady-state *emission* (the per-macro cost of
 shipping the cached pre-encoded stream), against the chip's own
-consumption time for that macro's micro-ops. Short-bodied instructions
-(int add at ~tens of micro-ops/macro, int ``<`` likewise) give the chip
-well under a microsecond of work per macro, so their sub-1x headroom is
-the fixed per-macro emission dispatch — not gate building, which the
-cache already amortizes to zero.
+consumption time for that macro's micro-ops. Stream-plan cache traffic
+is reported alongside so cold/warm attribution stays honest: a steady
+stream loop must be all plan hits.
 """
 
 import os
@@ -41,6 +48,8 @@ CASES = [
     ("fp div", ROp.DIV, float32),
 ]
 
+STREAM_LEN = 64
+
 _LINES = []
 _BREAKDOWN = []
 
@@ -55,30 +64,51 @@ def test_driver_throughput(benchmark, cfg, name, op, dtype):
     iterations = 20_000 if op in (ROp.ADD, ROp.LT) and dtype is int32 else 5_000
 
     def run():
-        return measure_driver_throughput(
+        stream = measure_driver_throughput(
+            cfg, op, dtype, iterations=iterations, unique_sequences=16,
+            emit="stream", stream_len=STREAM_LEN,
+        )
+        macro = measure_driver_throughput(
             cfg, op, dtype, iterations=iterations, unique_sequences=16
         )
+        return stream, macro
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stream, macro = benchmark.pedantic(run, rounds=1, iterations=1)
     build = measure_gate_build_cost(cfg, op, dtype, samples=12)
-    breakdown = EmissionBreakdown(result, build)
+    breakdown = EmissionBreakdown(stream, build)
     benchmark.extra_info.update(
-        micro_per_second=f"{result.micro_per_second:.3e}",
-        headroom=f"{result.headroom:.2f}",
-        ops_per_macro=f"{result.ops_per_macro:.0f}",
+        micro_per_second=f"{stream.micro_per_second:.3e}",
+        headroom=f"{stream.headroom:.2f}",
+        macro_headroom=f"{macro.headroom:.2f}",
+        ops_per_macro=f"{stream.ops_per_macro:.0f}",
+        plan_cache=f"{stream.plan_hits}h/{stream.plan_misses}m",
     )
     _LINES.append(
-        f"{name:<10} cached: {result.micro_per_second:9.3e} uops/s "
-        f"(headroom {result.headroom:5.2f}x vs 300MHz chip)"
+        f"{name:<10} stream: {stream.micro_per_second:9.3e} uops/s "
+        f"(headroom {stream.headroom:5.2f}x)   "
+        f"per-macro: {macro.micro_per_second:9.3e} uops/s "
+        f"(headroom {macro.headroom:5.2f}x)"
     )
     _BREAKDOWN.append(
-        f"{name:<10} {result.ops_per_macro:7.0f} uops/macro | "
-        f"emit {result.emit_seconds_per_macro * 1e6:7.2f} us/macro  "
+        f"{name:<10} {stream.ops_per_macro:7.0f} uops/macro | "
+        f"emit {stream.emit_seconds_per_macro * 1e6:7.3f} us/macro (stream) "
+        f"{macro.emit_seconds_per_macro * 1e6:7.2f} us/macro (per-macro)  "
         f"build {build * 1e6:9.2f} us/macro (cold, cached away)  "
-        f"chip {result.chip_seconds_per_macro * 1e6:7.2f} us/macro | "
-        f"limit: {breakdown.bottleneck}"
+        f"chip {stream.chip_seconds_per_macro * 1e6:7.2f} us/macro | "
+        f"plans {breakdown.plan_counters} | limit: {breakdown.bottleneck}"
     )
-    assert result.micro_per_second > 1e6
+    assert stream.micro_per_second > 1e6
+    # The steady loop replays warm plans only: compilation must not be
+    # hiding inside the emission figure.
+    assert stream.plan_misses == 0
+    # The CI headroom gate (ROADMAP item 1): with whole-stream emission
+    # *every* op type — including int add and int <, which per-macro
+    # dispatch caps at ~0.1x — outpaces the 300MHz chip.
+    assert stream.headroom >= 1.0, (
+        f"{name}: stream emission sustains only "
+        f"{stream.micro_per_second:.3g} uops/s "
+        f"({stream.headroom:.2f}x vs the {stream.frequency_hz:.3g}Hz chip)"
+    )
 
 
 def test_cache_ablation(benchmark, cfg):
@@ -109,7 +139,14 @@ def teardown_module(module):
     if not _LINES:
         return
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    sections = ["Host-driver throughput (buffer-sink methodology)", ""] + _LINES
+    sections = [
+        "Host-driver throughput (buffer-sink methodology)",
+        "",
+        f"stream = whole-stream emission plans ({STREAM_LEN} macros/stream,"
+        " Driver.execute_stream);",
+        "per-macro = legacy single-macro dispatch (Driver.execute).",
+        "",
+    ] + _LINES
     if _BREAKDOWN:
         sections += [
             "",
@@ -117,10 +154,14 @@ def teardown_module(module):
             "",
         ] + _BREAKDOWN + [
             "",
-            "Sub-1x headroom cases (int add, int <) are capped by the fixed",
-            "per-macro emission dispatch: their bodies are so short that the",
-            "chip consumes them in well under the host's per-macro overhead.",
-            "Gate building is fully amortized by the compiled-sequence cache.",
+            "Whole-stream emission removes the fixed per-macro dispatch",
+            "that capped the short-bodied cases (int add, int <) below 1x:",
+            "a warm stream replays one cached fused plan per"
+            f" {STREAM_LEN} macros",
+            "(all plan-cache hits in the steady state), so every op type",
+            "now clears 1x headroom — enforced in CI. Gate building stays",
+            "fully amortized by the compiled-sequence cache; per-macro",
+            "fallback numbers are retained for the dispatch-bound ladder.",
         ]
     text = "\n".join(sections)
     print("\n" + text)

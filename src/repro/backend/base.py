@@ -68,6 +68,23 @@ class Backend(abc.ABC):
     def run_program(self, program) -> Optional[int]:
         """Replay a program from :meth:`compile`; returns the last read."""
 
+    def run_stream(
+        self, instructions: Sequence[Instruction], name: str = "stream"
+    ) -> Optional[int]:
+        """Execute a macro-instruction stream as one emission unit.
+
+        Backends with a stream compiler (see :mod:`repro.driver.stream`)
+        fuse the stream into one cached emission plan and dispatch it
+        with a single call; the default is the bit-identical per-macro
+        loop. Returns the last read response, like the loop would.
+        """
+        response: Optional[int] = None
+        for instr in instructions:
+            result = self.execute(instr)
+            if result is not None:
+                response = result
+        return response
+
     def program_stats(self, program) -> SimStats:
         """The per-replay cycle bill of a compiled program.
 
@@ -120,6 +137,15 @@ class Backend(abc.ABC):
     def cache_counters(self) -> Tuple[int, int]:
         """``(hits, misses)`` — what ``pim.Profiler`` snapshots."""
         return self.cache_hits, self.cache_misses
+
+    def emit_counters(self) -> Dict[str, int]:
+        """Streams served per emission level (see the fallback ladder in
+        :mod:`repro.driver.stream`): ``"stream"`` counts fused-plan
+        emissions, ``"macro"`` counts per-macro fallbacks.
+        ``pim.Profiler`` snapshots this; backends without a stream
+        compiler report nothing.
+        """
+        return {}
 
     def replay_counters(self) -> Dict[str, int]:
         """Program replays served per replay engine.

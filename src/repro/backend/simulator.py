@@ -66,6 +66,14 @@ class SimulatorBackend(Backend):
     def run_program(self, program) -> Optional[int]:
         return self.driver.run_program(program)
 
+    def run_stream(
+        self, instructions: Sequence[Instruction], name: str = "stream"
+    ) -> Optional[int]:
+        return self.driver.execute_stream(instructions, name=name)
+
+    def emit_counters(self):
+        return dict(self.driver.emit_counters)
+
     def program_stats(self, program) -> SimStats:
         """Static per-replay accounting of a fused ``MicroProgram``.
 
@@ -154,8 +162,9 @@ class SimulatorBackend(Backend):
 
     @property
     def cache_hits(self) -> int:
-        return self.driver.programs.hits
+        """Hits across both driver cache tiers (bodies + streams)."""
+        return self.driver.programs.hits + self.driver.streams.hits
 
     @property
     def cache_misses(self) -> int:
-        return self.driver.programs.misses
+        return self.driver.programs.misses + self.driver.streams.misses

@@ -23,6 +23,11 @@ micro-operation list goes through
    exactly once (register/row/crossbar bounds, partition-pattern
    disjointness via :func:`repro.arch.halfgates.expand_pattern`, H-tree
    move restrictions), so replay paths can skip per-op re-validation.
+   Callers that assemble streams from already-validated pieces (the
+   driver's cached R-type bodies, the spliced stream compiler in
+   :meth:`repro.driver.driver.Driver._compile_spliced`) pass
+   ``validate=False`` and take responsibility for the few checks their
+   construction does not imply (mask ranges).
 
 The result is an immutable :class:`~repro.driver.program.MicroProgram`
 stamped with the config fingerprint it was validated against.

@@ -43,9 +43,15 @@ from repro.arch.micro_ops import (
     encode,
 )
 from repro.driver import fixed, floating, parallel
-from repro.driver.compiler import compile_ops
+from repro.driver.compiler import CompileError, compile_ops, validate_ops
 from repro.driver.gates import GateBuilder
 from repro.driver.program import MicroProgram, ProgramCache, config_fingerprint
+from repro.driver.stream import (
+    UNSUPPORTED,
+    MacroStream,
+    build_plan,
+    resolve_emit_mode,
+)
 from repro.isa.instructions import (
     Instruction,
     MoveInstr,
@@ -105,8 +111,14 @@ class Driver:
             addition/subtraction and bitwise operations (the paper's
             configuration); ``"serial"`` forces the bit-serial suite
             everywhere (the parallelism ablation).
-        cache_size: maximum number of compiled R-type bodies to retain.
+        cache_size: maximum number of compiled R-type bodies to retain
+            (the stream-plan tier is bounded by the same size).
         guard: enable gate-level lifetime checking (slow; for tests).
+        emit_mode: ``"stream"`` (default) lets :meth:`execute_stream`
+            emit whole macro streams through fused cached plans;
+            ``"macro"`` forces the legacy per-macro ladder everywhere
+            (also selectable via ``REPRO_DRIVER_EMIT``, see
+            :mod:`repro.driver.stream`).
     """
 
     #: The two scratch registers used as staging columns by move lowering.
@@ -119,6 +131,7 @@ class Driver:
         parallelism: str = "parallel",
         cache_size: int = 4096,
         guard: bool = False,
+        emit_mode: Optional[str] = None,
     ):
         if parallelism not in ("parallel", "serial"):
             raise ValueError("parallelism must be 'parallel' or 'serial'")
@@ -126,14 +139,26 @@ class Driver:
         self.config = config if config is not None else chip.config
         self.parallelism = parallelism
         self.guard = guard
+        self.emit_mode = resolve_emit_mode(emit_mode)
         self.cache_enabled = cache_size > 0
         self.programs = ProgramCache(maxsize=cache_size)
+        #: The stream tier: fused multi-instruction programs and
+        #: :class:`~repro.driver.stream.StreamPlan`\ s, keyed on the
+        #: instruction-tuple signature plus everything lowering depends
+        #: on. Separate from :attr:`programs` (the per-R-type body tier)
+        #: so body-cache hit rates stay meaningful.
+        self.streams = ProgramCache(maxsize=cache_size)
         # The config is fixed for the driver's lifetime; hoist the
         # fingerprint out of the per-instruction cache-key path.
         self._fingerprint = config_fingerprint(self.config)
         self._mask_cache: Dict[Tuple, "object"] = {}
+        self._mask_op_cache: Dict[Tuple, Tuple[MicroOp, MicroOp]] = {}
         self.macro_count = 0
         self.micro_count = 0
+        #: Streams served per emission level (see the fallback ladder in
+        #: :mod:`repro.driver.stream`): ``"stream"`` counts fused-plan
+        #: emissions, ``"macro"`` counts per-macro fallbacks.
+        self.emit_counters: Dict[str, int] = {"stream": 0, "macro": 0}
 
     @property
     def cache_hits(self) -> int:
@@ -270,6 +295,7 @@ class Driver:
         instructions: List[Instruction],
         name: str = "stream",
         optimize: bool = True,
+        emit: Optional[str] = None,
     ) -> MicroProgram:
         """Record a macro-instruction sequence into one compiled program.
 
@@ -281,30 +307,119 @@ class Driver:
         The optimized program produces a bit-identical memory state in
         fewer cycles; replay it with :meth:`run_program`.
 
-        Compiled streams are cached in :attr:`programs`, keyed on the
-        exact instruction sequence, the profiling ``name``, *and the
-        optimizer configuration* (the ``optimize`` flag, the parallelism
-        mode, and the config fingerprint): recompiling the same stream
-        is a cache hit, and switching the optimization level mid-session
-        can never replay a stale program compiled under different flags.
+        Under the default ``"stream"`` emission mode the lowering is
+        *spliced*: cached per-R-type bodies (valid by construction, never
+        re-validated) are stitched between cached mask preambles, so the
+        per-macro cost is a cache lookup plus a list extend instead of a
+        full re-lowering and per-op validation pass. ``emit="macro"``
+        (or the driver-wide mode) selects the legacy per-macro lowering
+        with full stream validation; both produce identical programs.
+
+        Compiled streams are cached in :attr:`streams` (the stream tier),
+        keyed on the exact instruction sequence, the profiling ``name``,
+        *and the full lowering configuration* (the ``optimize`` flag, the
+        emission mode, the parallelism mode, and the config fingerprint):
+        recompiling the same stream is a cache hit, and switching any of
+        those mid-session can never replay a stale program compiled
+        under different flags.
         """
-        instrs = tuple(instructions)
+        instrs = MacroStream.wrap(instructions)
+        mode = resolve_emit_mode(emit) if emit is not None else self.emit_mode
         key = None
         if self.cache_enabled:
-            key = ("stream", instrs, name, bool(optimize), self.parallelism,
-                   self._fingerprint)
-            cached = self.programs.get(key)
+            key = ("stream", instrs, name, bool(optimize), mode,
+                   self.parallelism, self._fingerprint)
+            cached = self.streams.get(key)
             if cached is not None:
                 return cached
-        ops: List[MicroOp] = []
-        for instr in instrs:
-            validate(instr, self.config.registers)
-            ops.extend(self._lower_ops(instr))
-        program = compile_ops(ops, self.config, name=name, optimize=optimize)
+        if mode == "stream":
+            program = self._compile_spliced(instrs, name, optimize)
+        else:
+            ops: List[MicroOp] = []
+            for instr in instrs:
+                validate(instr, self.config.registers)
+                ops.extend(self._lower_ops(instr))
+            program = compile_ops(ops, self.config, name=name, optimize=optimize)
         program = replace(program, macros=len(instrs))
         if key is not None:
-            self.programs.put(key, program)
+            self.streams.put(key, program)
         return program
+
+    def _compile_spliced(
+        self, instrs: Tuple[Instruction, ...], name: str, optimize: bool
+    ) -> MicroProgram:
+        """Splice cached bodies between cached mask preambles (no re-walk).
+
+        R-type bodies come pre-validated from the body cache; only their
+        mask preambles need range checks here (the single check the full
+        validation pass would add for them). The short non-R lowerings
+        (moves, reads, writes) are validated op-by-op as before.
+        """
+        registers = self.config.registers
+        ops: List[MicroOp] = []
+        for instr in instrs:
+            validate(instr, registers)
+            if isinstance(instr, RInstr):
+                self._check_instr_masks(instr.warp_mask, instr.row_mask)
+                ops.extend(self._mask_ops(instr.warp_mask, instr.row_mask))
+                ops.extend(self._rtype_program(instr).ops)
+            else:
+                lowered = self._lower_ops(instr)
+                validate_ops(lowered, self.config)
+                ops.extend(lowered)
+        return compile_ops(
+            ops, self.config, name=name, optimize=optimize, validate=False
+        )
+
+    def _check_instr_masks(
+        self, warp_mask: Optional[RangeMask], row_mask: Optional[RangeMask]
+    ) -> None:
+        """The mask-range checks full validation would apply (spliced path)."""
+        if warp_mask is not None and warp_mask.stop >= self.config.crossbars:
+            raise CompileError("crossbar mask out of range")
+        if row_mask is not None and row_mask.stop >= self.config.rows:
+            raise CompileError("row mask out of range")
+
+    def execute_stream(
+        self, instructions, name: str = "stream"
+    ) -> Optional[int]:
+        """Emit a whole macro-instruction stream as one dispatch unit.
+
+        Under the default ``"stream"`` emission mode the stream is fused
+        into a cached :class:`~repro.driver.stream.StreamPlan` (see
+        :mod:`repro.driver.stream`) and dispatched with a single chip
+        call — ``execute_program`` replay, or one pre-encoded
+        ``execute_batch`` word block.  Streams without a supported plan
+        route (and everything under ``emit_mode="macro"`` or a disabled
+        cache) fall back to per-macro :meth:`execute`, bit-identically.
+        Returns the last read response, like a per-macro loop would.
+        """
+        instrs = MacroStream.wrap(instructions)
+        if not instrs:
+            return None
+        if self.emit_mode == "stream" and self.cache_enabled:
+            key = ("plan", instrs, name, self.parallelism, self._fingerprint)
+            plan = self.streams.get(key)
+            if plan is None:
+                plan = build_plan(self, instrs, name=name) or UNSUPPORTED
+                self.streams.put(key, plan)
+            if plan is not UNSUPPORTED:
+                self.emit_counters["stream"] += 1
+                self.macro_count += plan.macros
+                self.micro_count += len(plan.program)
+                if plan.route == "program":
+                    return self.chip.execute_program(plan.program)
+                self.chip.execute_batch(
+                    plan.program.encoded(self.config.word_size)
+                )
+                return None
+        self.emit_counters["macro"] += 1
+        response: Optional[int] = None
+        for instr in instrs:
+            result = self.execute(instr)
+            if result is not None:
+                response = result
+        return response
 
     def run_program(self, program: MicroProgram) -> Optional[int]:
         """Replay a compiled program on the chip.
@@ -335,12 +450,26 @@ class Driver:
     def _mask_ops(
         self, warp_mask: Optional[RangeMask], row_mask: Optional[RangeMask]
     ) -> List[MicroOp]:
-        warps = warp_mask or RangeMask.all(self.config.crossbars)
-        rows = row_mask or RangeMask.all(self.config.rows)
-        return [
-            CrossbarMaskOp(warps.start, warps.stop, warps.step),
-            RowMaskOp(rows.start, rows.stop, rows.step),
-        ]
+        """The two-mask preamble of an instruction, built once per pair.
+
+        Mask resolution (the ``None`` → full-range defaulting and the
+        range arithmetic) is cached per distinct ``(warp, row)`` pair, so
+        splicing a long stream re-resolves each address pattern once —
+        not once per macro.  The cached ops are immutable; a fresh list
+        is returned because callers concatenate.
+        """
+        key = (warp_mask, row_mask)
+        cached = self._mask_op_cache.get(key)
+        if cached is None:
+            warps = warp_mask or RangeMask.all(self.config.crossbars)
+            rows = row_mask or RangeMask.all(self.config.rows)
+            cached = (
+                CrossbarMaskOp(warps.start, warps.stop, warps.step),
+                RowMaskOp(rows.start, rows.stop, rows.step),
+            )
+            if len(self._mask_op_cache) < 4096:
+                self._mask_op_cache[key] = cached
+        return list(cached)
 
     # ------------------------------------------------------------------
     # R-type

@@ -12,6 +12,13 @@ semi-parallel pattern of Figure 7(c,d).
 Multiplication and division keep the bit-serial datapath (the MultPIM-style
 bit-parallel multiplier is out of scope; DESIGN.md documents this and the
 benchmarks account for it).
+
+The short bodies built here (an int add is ~185 micro-ops) are the ones
+whose per-macro dispatch cost capped driver headroom below 1x; they are
+compiled once per (op, dtype, operand layout) into cached
+``MicroProgram`` bodies and spliced verbatim — no re-lowering, no
+re-validation — by the whole-stream emission compiler
+(:mod:`repro.driver.stream`).
 """
 
 from __future__ import annotations

@@ -248,6 +248,14 @@ class ProgramCache:
     key on the optimizer configuration (the peephole ``optimize`` flag),
     so changing the optimization level mid-session can never replay a
     program compiled under different flags.
+
+    The driver holds two independent instances: the per-R-type *body*
+    tier (``Driver.programs``) and the whole-stream *plan* tier
+    (``Driver.streams``, fused programs and
+    :class:`~repro.driver.stream.StreamPlan`\\ s keyed on the
+    instruction-tuple signature plus the emission mode). Keeping the
+    tiers separate keeps each one's hit/miss accounting meaningful;
+    ``SimulatorBackend.cache_hits``/``cache_misses`` report the sum.
     """
 
     def __init__(self, maxsize: int = 4096):

@@ -1,0 +1,169 @@
+"""Whole-stream emission: macro-instruction streams as one cached plan.
+
+The per-macro emission path (``Driver.execute``) pays a fixed Python
+dispatch cost per macro-instruction — validation, cache lookup, mask
+encoding, one or two chip calls.  For multi-thousand-cycle bodies that
+cost vanishes into the chip's own consumption time, but the short
+bit-parallel bodies (int add at ~185 micro-ops, comparisons at ~274)
+leave the chip idle: the emission breakdown in
+``results/driver_throughput.txt`` attributes their sub-1x headroom
+entirely to per-macro dispatch.
+
+This module is the fix: the *stream* — not the macro — becomes the unit
+of emission.  A whole macro-instruction sequence is lowered once into a
+single fused :class:`~repro.driver.program.MicroProgram` (splicing the
+cached per-(op, dtype, operand-layout) bodies, with mask/region
+resolution batched across the stream) and wrapped in a :class:`StreamPlan`
+that fixes, at build time, the fastest dispatch route the chip supports.
+Replaying the plan re-enters Python once per *stream*: one cache lookup,
+one chip call.
+
+Three pieces live here:
+
+- :class:`MacroStream` — the stream IR handle: an immutable instruction
+  tuple with a cached content hash, so steady-state plan lookups cost an
+  identity check instead of re-hashing every instruction;
+- :class:`StreamPlan` — a fused program plus its pre-resolved dispatch
+  route (``execute_program`` replay, or pre-encoded ``execute_batch``
+  word blocks);
+- :func:`resolve_emit_mode` — the emission-mode selector, mirroring the
+  replay-engine selection of :mod:`repro.sim.replay`: ``"stream"`` (the
+  default) emits through plans, ``"macro"`` forces the legacy per-macro
+  ladder (set ``REPRO_DRIVER_EMIT=macro``, or pass
+  ``emit_mode="macro"`` to the driver / ``pim.init``).
+
+Fallback ladder (each level bit-identical in memory and ``SimStats``):
+
+1. **stream** — a supported plan exists: one fused program per stream,
+   dispatched via ``execute_program`` or as one pre-encoded word block.
+2. **macro** — no plan route (a chip without program/batch transport, a
+   batch-only sink with in-stream reads whose responses it cannot
+   return, a disabled cache) or ``emit_mode="macro"``: each macro goes
+   through ``Driver.execute``'s own per-macro ladder.
+
+The :attr:`Driver.emit_counters <repro.driver.driver.Driver.emit_counters>`
+dict records which level served each stream; ``pim.Profiler`` snapshots
+it as ``emit_counts``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.driver.program import MicroProgram
+from repro.isa.instructions import Instruction, ReadInstr  # noqa: F401
+
+#: Environment variable selecting the default emission mode.
+EMIT_ENV = "REPRO_DRIVER_EMIT"
+
+#: Recognized emission modes, strongest first.
+EMIT_MODES = ("stream", "macro")
+
+
+def resolve_emit_mode(requested: "str | None" = None) -> str:
+    """Validate an emission mode, defaulting from ``REPRO_DRIVER_EMIT``."""
+    mode = requested or os.environ.get(EMIT_ENV) or EMIT_MODES[0]
+    if mode not in EMIT_MODES:
+        source = "requested" if requested else f"${EMIT_ENV}"
+        raise ValueError(
+            f"unknown emission mode {mode!r} ({source}); "
+            f"choose from {EMIT_MODES}"
+        )
+    return mode
+
+
+class MacroStream(tuple):
+    """An immutable macro-instruction sequence with a cached content hash.
+
+    The stream-plan cache is keyed on the instruction tuple itself, so a
+    naive lookup would re-hash every instruction dataclass on every
+    emission.  A ``MacroStream`` computes that hash once and memoizes it;
+    callers that hold on to the handle (the throughput harness, a host
+    loop emitting the same stream repeatedly) then pay an identity
+    comparison per lookup.  Equality stays tuple equality, so plain
+    tuples and lists of the same instructions find the same cache entry.
+    """
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = tuple.__hash__(self)
+            self.__dict__["_hash"] = cached
+        return cached
+
+    @classmethod
+    def wrap(cls, instructions) -> "MacroStream":
+        """Adopt an existing handle, or freeze any instruction iterable."""
+        if isinstance(instructions, cls):
+            return instructions
+        return cls(instructions)
+
+
+@dataclass(frozen=True, eq=False)
+class StreamPlan:
+    """A fused emission plan: one program, one pre-resolved dispatch route.
+
+    Attributes:
+        program: the fused (unoptimized — cycle counts must match the
+            per-macro ladder exactly) :class:`MicroProgram` of the whole
+            stream.
+        macros: number of macro-instructions the plan covers.
+        reads: number of in-stream :class:`~repro.isa.instructions.ReadInstr`
+            responses (replay returns the last one).
+        route: ``"program"`` (chip ``execute_program`` replay) or
+            ``"batch"`` (one pre-encoded ``execute_batch`` word block).
+    """
+
+    program: MicroProgram
+    macros: int
+    reads: int
+    route: str
+
+    def __len__(self) -> int:
+        return len(self.program)
+
+
+#: Cache sentinel for streams with no supported plan route, so the
+#: unsupported verdict is cached instead of re-derived per emission.
+UNSUPPORTED = object()
+
+
+def plan_route(chip, reads: int) -> Optional[str]:
+    """The fastest whole-stream dispatch route ``chip`` supports.
+
+    ``execute_program`` replay handles everything (including in-stream
+    reads — replay returns the last response).  Batch-only sinks ship one
+    pre-encoded word block, but cannot return read responses
+    (``execute_batch`` has no return channel), so streams containing
+    reads are unsupported there.  Chips exposing only ``execute`` gain
+    nothing from a fused plan — per-op dispatch dominates either way —
+    and fall back to the per-macro ladder.
+    """
+    if chip is None:
+        return None
+    if hasattr(chip, "execute_program"):
+        return "program"
+    if hasattr(chip, "execute_batch") and reads == 0:
+        return "batch"
+    return None
+
+
+def build_plan(driver, instructions, name: str = "stream") -> Optional[StreamPlan]:
+    """Compile a macro stream into a :class:`StreamPlan`, or ``None``.
+
+    ``None`` means no supported dispatch route exists for this chip and
+    stream shape (see :func:`plan_route`); the caller falls back to
+    per-macro emission.  The fused program is compiled *unoptimized*: a
+    plan must be bit-identical to the per-macro ladder in both memory
+    effects and cycle accounting, and the peephole passes trade cycles
+    for a different (if state-equivalent) stream.
+    """
+    instrs = MacroStream.wrap(instructions)
+    reads = sum(1 for instr in instrs if isinstance(instr, ReadInstr))
+    route = plan_route(driver.chip, reads)
+    if route is None:
+        return None
+    program = driver.compile(instrs, name=name, optimize=False)
+    return StreamPlan(program=program, macros=len(instrs), reads=reads, route=route)

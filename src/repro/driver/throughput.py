@@ -24,12 +24,23 @@ from repro.isa.instructions import ARITY, RInstr, ROp
 
 @dataclass(frozen=True)
 class ThroughputResult:
-    """Outcome of a driver-throughput run."""
+    """Outcome of a driver-throughput run.
+
+    ``emit`` records the emission path the run measured (``"macro"``:
+    per-macro ``Driver.execute`` dispatch; ``"stream"``: whole-stream
+    plans via ``Driver.execute_stream``), and ``plan_hits`` /
+    ``plan_misses`` are the stream-tier cache counters accumulated
+    during the timed loop — a warm stream run should show only hits, so
+    cold/warm attribution stays honest.
+    """
 
     macro_instructions: int
     micro_ops: int
     seconds: float
     frequency_hz: float
+    emit: str = "macro"
+    plan_hits: int = 0
+    plan_misses: int = 0
 
     @property
     def macro_per_second(self) -> float:
@@ -82,6 +93,18 @@ class EmissionBreakdown:
     @property
     def ops_per_macro(self) -> float:
         return self.steady.ops_per_macro
+
+    @property
+    def plan_counters(self) -> str:
+        """The steady run's stream-plan cache traffic, for reports.
+
+        A warm whole-stream measurement must be all hits ("N hits / 0
+        misses"); misses in the steady loop would mean the attribution
+        is charging plan compilation to emission.
+        """
+        return (
+            f"{self.steady.plan_hits} hits / {self.steady.plan_misses} misses"
+        )
 
     @property
     def cold_headroom(self) -> float:
@@ -159,6 +182,8 @@ def measure_driver_throughput(
     buffer_capacity: int = 100_000,
     unique_sequences: int = 64,
     warmup: bool = True,
+    emit: Optional[str] = None,
+    stream_len: int = 0,
 ) -> ThroughputResult:
     """Time the generation of ``iterations`` random macro-instructions.
 
@@ -168,12 +193,23 @@ def measure_driver_throughput(
     reuse a small working set of tuples, which is what makes the compiled-
     sequence cache effective; pass ``iterations`` to make every tuple
     fresh (the cold-cache ablation).
+
+    With ``stream_len > 1`` the instructions are grouped into
+    ``stream_len``-macro streams emitted via ``Driver.execute_stream``
+    (several distinct stream tuples rotate, so the plan cache holds more
+    than one entry); ``emit`` then selects the emission mode the driver
+    runs under (``"stream"`` measures fused-plan dispatch, ``"macro"``
+    measures the per-macro fallback through the same entry point).
+    The default (``stream_len=0``) is the legacy per-``execute`` loop.
     """
+    from repro.driver.stream import MacroStream
+
     sink = BufferSink(config, capacity=buffer_capacity)
     driver = Driver(
         sink, config=config,
         parallelism=parallelism,
         cache_size=4096 if use_cache else 0,
+        emit_mode=emit,
     )
     rng = random.Random(seed)
     user = config.user_registers
@@ -192,6 +228,41 @@ def measure_driver_throughput(
                 src_c=regs[3] if arity >= 3 else None,
             )
         )
+
+    if stream_len > 1:
+        # Whole-stream emission: a handful of distinct stream tuples
+        # (rotated offsets into the instruction pool) emitted repeatedly,
+        # like a host loop dispatching the same compiled kernels.
+        count = max(1, min(8, iterations // stream_len))
+        streams = [
+            MacroStream(
+                pool[(7 * index + position) % len(pool)]
+                for position in range(stream_len)
+            )
+            for index in range(count)
+        ]
+        loops = max(1, iterations // stream_len)
+        if use_cache and warmup:
+            for stream in streams:
+                driver.execute_stream(stream)
+        counted_before = sink.count
+        hits_before = driver.streams.hits
+        misses_before = driver.streams.misses
+
+        start = time.perf_counter()
+        for index in range(loops):
+            driver.execute_stream(streams[index % count])
+        elapsed = time.perf_counter() - start
+        return ThroughputResult(
+            macro_instructions=loops * stream_len,
+            micro_ops=sink.count - counted_before,
+            seconds=max(elapsed, 1e-9),
+            frequency_hz=config.frequency_hz,
+            emit=driver.emit_mode,
+            plan_hits=driver.streams.hits - hits_before,
+            plan_misses=driver.streams.misses - misses_before,
+        )
+
     instructions = [pool[i % len(pool)] for i in range(iterations)]
 
     if use_cache and warmup:

@@ -15,7 +15,12 @@ values, device geometry) runs the function eagerly under a
 macro-instruction stream through the device backend into one replayable
 program — on the simulator backend that is a single fused
 :class:`~repro.driver.program.MicroProgram` riding the
-``execute_program`` replay fast path. Later calls skip the entire tensor
+``execute_program`` replay fast path. Under the default ``"stream"``
+emission mode that lowering goes through the driver's spliced stream
+compiler (:mod:`repro.driver.stream`): cached per-R-type bodies are
+stitched between cached mask preambles instead of re-lowered, so
+capture-time compilation of long traces is cheap and op-for-op
+identical to per-macro lowering. Later calls skip the entire tensor
 layer and driver: new argument data is DMA-copied into the captured
 input registers, the program replays, and deferred scalar reads are
 re-issued.

@@ -114,6 +114,24 @@ class PIMDevice:
             self._trace.record(instr)
         return result
 
+    def execute_stream(self, instructions, name: str = "stream"):
+        """Run a whole macro-instruction stream as one emission unit.
+
+        See :meth:`repro.backend.base.Backend.run_stream`: on backends
+        with a stream compiler the stream is fused into one cached
+        emission plan and dispatched with a single call; otherwise it
+        loops per macro, bit-identically. When tracing, every
+        instruction is recorded individually — a capture sees exactly
+        the stream a per-macro loop would have recorded.
+        """
+        self._check_open()
+        instrs = list(instructions)
+        result = self.backend.run_stream(instrs, name=name)
+        if self._trace is not None:
+            for instr in instrs:
+                self._trace.record(instr)
+        return result
+
     def compile(self, instructions, name: str = "stream", optimize: bool = True):
         """Record macro-instructions into one replayable compiled program.
 

@@ -45,6 +45,12 @@ class Profiler:
         #: per-op ``"thunk"`` replays; empty on single-engine backends).
         self.replay_counts: dict = {}
         self._replay_before: dict = {}
+        #: Macro streams emitted inside the block, per emission level
+        #: (``"stream"`` fused-plan emissions vs ``"macro"`` per-macro
+        #: fallbacks; see :mod:`repro.driver.stream`). Empty on backends
+        #: without a stream compiler.
+        self.emit_counts: dict = {}
+        self._emit_before: dict = {}
 
     @property
     def device(self) -> PIMDevice:
@@ -58,6 +64,7 @@ class Profiler:
         # in-block lowerings (the held references keep their ids unique).
         self._reports_before = tuple(self.device.opt_reports)
         self._replay_before = self.device.backend.replay_counters()
+        self._emit_before = self.device.backend.emit_counters()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -77,6 +84,12 @@ class Profiler:
             for engine, count in after.items()
             if count - self._replay_before.get(engine, 0)
         }
+        emits = self.device.backend.emit_counters()
+        self.emit_counts = {
+            level: count - self._emit_before.get(level, 0)
+            for level, count in emits.items()
+            if count - self._emit_before.get(level, 0)
+        }
         if self.echo and exc_type is None:
             print(self.stats.summary())
             print(
@@ -89,6 +102,12 @@ class Profiler:
                     for engine, count in sorted(self.replay_counts.items())
                 )
                 print(f"  program replays  {detail}")
+            if self.emit_counts:
+                detail = " / ".join(
+                    f"{count} {level}"
+                    for level, count in sorted(self.emit_counts.items())
+                )
+                print(f"  stream emissions  {detail}")
             for report in self.opt_reports:
                 print(f"  {report.summary()}")
 

@@ -31,7 +31,10 @@ boundary — runs contain no observable point (no reads, no mask changes)
 — and cycle accounting is untouched: vectorized plans exist only for
 *self-masked* programs, whose per-replay
 :class:`~repro.sim.stats.SimStats` delta is established statically and
-merged once per replay by both engines.
+merged once per replay by both engines. Fused whole-stream plans from
+the driver's stream emission compiler (:mod:`repro.driver.stream`) are
+self-masked by construction — every spliced instruction re-establishes
+its masks first — so stream emission rides this engine too.
 
 Fallback ladder (each level preserved bit-for-bit):
 

@@ -332,6 +332,89 @@ class TestConfigInvalidation:
             Simulator(cfg_b).execute_program(program)
 
 
+class TestStreamTierCache:
+    """The stream tier (fused programs + plans) keys on everything
+    lowering depends on: emission mode, optimize flag, parallelism, and
+    the config fingerprint — switching any of them mid-session must
+    never replay a stale entry; recompiling under the same flags must.
+    """
+
+    def stream(self):
+        full_w, full_r = RangeMask.all(4), RangeMask.all(8)
+        return [
+            WriteInstr(0, 9, full_w, full_r),
+            WriteInstr(1, 4, full_w, full_r),
+            RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1),
+            RInstr(ROp.LT, int32, dest=3, src_a=1, src_b=2),
+        ]
+
+    def test_emit_mode_distinguishes_cache_entries(self):
+        _, driver = fresh_pair()
+        spliced = driver.compile(self.stream(), emit="stream")
+        legacy = driver.compile(self.stream(), emit="macro")
+        assert spliced is not legacy  # separate entries per emission mode
+        assert list(spliced.ops) == list(legacy.ops)  # but identical output
+        assert driver.compile(self.stream(), emit="stream") is spliced
+        assert driver.compile(self.stream(), emit="macro") is legacy
+
+    def test_stream_tier_separate_from_body_tier(self):
+        _, driver = fresh_pair()
+        body_hits = driver.programs.hits
+        driver.compile(self.stream())
+        driver.compile(self.stream())
+        assert driver.streams.hits == 1
+        # Driver.cache_hits stays the body-tier view (plan traffic must
+        # not inflate the R-type body hit rate it reports).
+        assert driver.cache_hits == driver.programs.hits
+        assert driver.programs.hits >= body_hits
+
+    def test_plan_cached_across_emissions(self):
+        _, driver = fresh_pair(emit_mode="stream")
+        stream = self.stream()
+        driver.execute_stream(stream)
+        misses = driver.streams.misses
+        hits = driver.streams.hits
+        driver.execute_stream(stream)
+        driver.execute_stream(stream)
+        assert driver.streams.misses == misses
+        assert driver.streams.hits == hits + 2
+
+    def test_fingerprint_invalidates_plans(self):
+        cfg_b = small_config(crossbars=4, rows=16)
+        _, drv_a = fresh_pair()
+        _, drv_b = fresh_pair(cfg_b)
+        a = drv_a.compile(self.stream())
+        b = drv_b.compile(self.stream())
+        assert a.config_fingerprint != b.config_fingerprint
+        with pytest.raises(SimulationError, match="fingerprint"):
+            Simulator(cfg_b).execute_program(a)
+
+    def test_parallelism_distinguishes_cache_entries(self):
+        _, par = fresh_pair(parallelism="parallel")
+        _, ser = fresh_pair(parallelism="serial")
+        a = par.compile(self.stream(), optimize=False)
+        b = ser.compile(self.stream(), optimize=False)
+        # Bit-parallel vs bit-serial lowering of ADD really differs, so a
+        # shared key would replay the wrong body.
+        assert len(a) != len(b)
+
+    def test_backend_cache_counters_sum_both_tiers(self):
+        from repro.backend.simulator import SimulatorBackend
+
+        backend = SimulatorBackend(CFG)
+        stream = self.stream()
+        backend.compile(stream)
+        backend.compile(stream)  # stream-tier hit
+        for instr in stream:
+            backend.execute(instr)  # body-tier traffic (R-type hits)
+        driver = backend.driver
+        assert backend.cache_hits == driver.programs.hits + driver.streams.hits
+        assert backend.cache_misses == (
+            driver.programs.misses + driver.streams.misses
+        )
+        assert driver.streams.hits == 1
+
+
 class TestOptimizedStreams:
     """Peephole-optimized programs: same final state, fewer cycles."""
 

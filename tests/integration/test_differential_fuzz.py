@@ -21,6 +21,14 @@ two backends at every level, level-0 replay is cycle-exact with eager
 execution, and the two simulator replay engines leave bit-identical
 memory images with identical ``SimStats`` at every level.
 
+Each case's captured macro-instruction stream additionally runs through
+the whole-stream emission compiler (:mod:`repro.driver.stream`): the
+spliced ``Driver.compile`` lowering must match the legacy per-macro
+lowering op for op (at both ``optimize`` flags), and whole-stream
+emission (``execute_stream``) must leave the same memory image, the same
+``SimStats``, and the same read response as the per-macro fallback on
+both backends.
+
 Seeds are pinned so failures reproduce; CI's fuzz job rotates them via
 ``REPRO_FUZZ_SEEDS`` (space/comma-separated ints). On failure the
 offending program descriptor is dumped to ``fuzz_artifacts/`` (override
@@ -467,6 +475,8 @@ def _run_case(seed: int):
         pim.reset()
     assert eager_cycles["simulator"] == eager_cycles["numpy"], f"seed={seed}"
 
+    _check_stream_lowering(seed, program, int_inputs, float_inputs)
+
     # Compiled at every opt_level on both backends — the simulator
     # backend additionally under both replay engines ---------------------
     replay_cycles = {}
@@ -533,6 +543,54 @@ def _run_case(seed: int):
             replay_cycles[("simulator", level)]
             <= replay_cycles[("simulator", 0)]
         ), f"seed={seed} O{level}: optimizer made the program slower"
+
+
+def _check_stream_lowering(seed, program, int_inputs, float_inputs):
+    """Differential check of the whole-stream emission compiler.
+
+    Uses the case's captured macro-instruction stream (the O0 graph) as
+    fuzz input for :mod:`repro.driver.stream`: spliced compilation must
+    match legacy lowering op for op, and ``execute_stream`` must be
+    bit-identical (memory, ``SimStats``, read response) to the per-macro
+    fallback on both backends.
+    """
+    device = pim.init(crossbars=CROSSBARS, rows=ROWS)
+    tensors = _fresh_inputs(int_inputs, float_inputs)
+    func = pim.compile(lambda *args: program(*args), opt_level=0, cache_size=2)
+    func(*tensors)
+    instrs = tuple(func.graph_for(*tensors).instructions)
+    driver = device.backend.driver
+    for optimize in (False, True):
+        spliced = driver.compile(instrs, optimize=optimize, emit="stream")
+        legacy = driver.compile(instrs, optimize=optimize, emit="macro")
+        assert list(spliced.ops) == list(legacy.ops), (
+            f"seed={seed} optimize={optimize}: spliced stream lowering "
+            "diverges from per-macro lowering"
+        )
+        assert spliced.reads == legacy.reads, f"seed={seed} {optimize}"
+        assert spliced.source_ops == legacy.source_ops, f"seed={seed}"
+    pim.reset()
+
+    for backend in ("simulator", "numpy"):
+        state = {}
+        for mode in ("stream", "macro"):
+            device = pim.init(
+                crossbars=CROSSBARS, rows=ROWS, backend=backend,
+                emit_mode=mode,
+            )
+            response = device.execute_stream(list(instrs))
+            state[mode] = (
+                device.backend.words.copy(),
+                device.backend.stats.copy(),
+                response,
+            )
+            counters = device.backend.emit_counters()
+            assert counters[mode] == 1, f"seed={seed} {backend} {mode}"
+            pim.reset()
+        context = f"seed={seed} {backend} stream-vs-macro emission"
+        assert state["stream"][2] == state["macro"][2], context
+        assert np.array_equal(state["stream"][0], state["macro"][0]), context
+        assert state["stream"][1] == state["macro"][1], context
 
 
 def _dump_artifact(seed: int, error: BaseException) -> None:

@@ -17,6 +17,9 @@ from repro.backend.numpy_backend import FunctionalProgram, NumpyBackend
 from repro.backend.simulator import SimulatorBackend
 
 #: Registered backend names, as accepted by ``pim.init(backend=...)``.
+#: ``"pooled"``/``"pool"`` resolve lazily (see :func:`make_backend`) to
+#: :class:`repro.pool.PooledBackend` — the pool package imports backends,
+#: so a table entry here would be a circular import.
 BACKENDS = {
     "simulator": SimulatorBackend,
     "sim": SimulatorBackend,
@@ -24,6 +27,8 @@ BACKENDS = {
     "numpy": NumpyBackend,
     "functional": NumpyBackend,
 }
+
+_LAZY_BACKENDS = ("pooled", "pool")
 
 
 def make_backend(
@@ -47,11 +52,17 @@ def make_backend(
         return backend
     if isinstance(backend, type) and issubclass(backend, Backend):
         return backend(config, **kwargs)
+    key = str(backend).lower()
+    if key in _LAZY_BACKENDS:
+        from repro.pool import PooledBackend
+
+        return PooledBackend(config, **kwargs)
     try:
-        cls = BACKENDS[str(backend).lower()]
+        cls = BACKENDS[key]
     except KeyError:
+        choices = sorted(set(BACKENDS) | set(_LAZY_BACKENDS))
         raise ValueError(
-            f"unknown backend {backend!r}; choose from {sorted(set(BACKENDS))}"
+            f"unknown backend {backend!r}; choose from {choices}"
         ) from None
     return cls(config, **kwargs)
 

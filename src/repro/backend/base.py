@@ -134,9 +134,23 @@ class Backend(abc.ABC):
         """Compiled-stream cache misses (0 when the backend has no cache)."""
         return 0
 
-    def cache_counters(self) -> Tuple[int, int]:
-        """``(hits, misses)`` — what ``pim.Profiler`` snapshots."""
-        return self.cache_hits, self.cache_misses
+    @property
+    def cache_evictions(self) -> int:
+        """LRU evictions across cache tiers (0 without a bounded cache)."""
+        return 0
+
+    def cache_counters(self) -> Tuple[int, int, int]:
+        """``(hits, misses, evictions)`` — what ``pim.Profiler`` snapshots."""
+        return self.cache_hits, self.cache_misses, self.cache_evictions
+
+    def persist_counters(self) -> Dict[str, int]:
+        """Cross-session persistent-cache counters.
+
+        ``loads``/``misses``/``invalid``/``stores`` from the driver's
+        :class:`~repro.driver.persist.PersistentProgramCache`; empty when
+        no cache directory is configured (or the backend has no driver).
+        """
+        return {}
 
     def emit_counters(self) -> Dict[str, int]:
         """Streams served per emission level (see the fallback ladder in

@@ -145,6 +145,19 @@ class NumpyBackend(Backend):
     def cache_misses(self) -> int:
         return self._misses
 
+    @property
+    def cache_evictions(self) -> int:
+        # The per-instruction stats memo never evicts (it stops growing
+        # at its bound); evictions come from the lowering driver's tiers.
+        return (
+            self._driver.programs.evictions + self._driver.streams.evictions
+        )
+
+    def persist_counters(self):
+        if self._driver.persist is None:
+            return {}
+        return self._driver.persist.counters()
+
     def execute(self, instr: Instruction) -> Optional[int]:
         validate(instr, self.config.registers)
         delta = self._instr_stats.get(instr)

@@ -168,3 +168,12 @@ class SimulatorBackend(Backend):
     @property
     def cache_misses(self) -> int:
         return self.driver.programs.misses + self.driver.streams.misses
+
+    @property
+    def cache_evictions(self) -> int:
+        return self.driver.programs.evictions + self.driver.streams.evictions
+
+    def persist_counters(self):
+        if self.driver.persist is None:
+            return {}
+        return self.driver.persist.counters()

@@ -25,6 +25,7 @@ recorded and peephole-optimized with :meth:`Driver.compile` /
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
@@ -45,6 +46,7 @@ from repro.arch.micro_ops import (
 from repro.driver import fixed, floating, parallel
 from repro.driver.compiler import CompileError, compile_ops, validate_ops
 from repro.driver.gates import GateBuilder
+from repro.driver.persist import PersistentProgramCache, resolve_cache_dir
 from repro.driver.program import MicroProgram, ProgramCache, config_fingerprint
 from repro.driver.stream import (
     UNSUPPORTED,
@@ -61,6 +63,32 @@ from repro.isa.instructions import (
     WriteInstr,
     validate,
 )
+
+
+#: Default LRU capacity of each program-cache tier.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Environment variable overriding the default cache capacity.
+CACHE_SIZE_ENV = "REPRO_CACHE_SIZE"
+
+
+def resolve_cache_size(requested: Optional[int] = None) -> int:
+    """The effective per-tier LRU capacity.
+
+    Explicit ``cache_size=`` wins; otherwise ``REPRO_CACHE_SIZE`` (an
+    unparsable value falls back to the default rather than erroring —
+    cache sizing must never take the session down); otherwise
+    :data:`DEFAULT_CACHE_SIZE`. Zero disables caching entirely.
+    """
+    if requested is not None:
+        return int(requested)
+    raw = os.environ.get(CACHE_SIZE_ENV)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_CACHE_SIZE
 
 
 class BufferSink:
@@ -112,7 +140,16 @@ class Driver:
             configuration); ``"serial"`` forces the bit-serial suite
             everywhere (the parallelism ablation).
         cache_size: maximum number of compiled R-type bodies to retain
-            (the stream-plan tier is bounded by the same size).
+            (the stream-plan tier is bounded by the same size). Defaults
+            from ``REPRO_CACHE_SIZE`` when unset (else 4096); evictions
+            beyond the bound are counted per tier and surfaced via
+            ``Backend.cache_counters()``.
+        cache_dir: directory for the cross-session persistent program
+            store (see :mod:`repro.driver.persist`): compiled bodies and
+            fused streams are written through and restored on later
+            sessions' misses, skipping gate building entirely. Defaults
+            from ``REPRO_CACHE_DIR``; ``None`` (and no env var) keeps
+            the cache in-memory only.
         guard: enable gate-level lifetime checking (slow; for tests).
         emit_mode: ``"stream"`` (default) lets :meth:`execute_stream`
             emit whole macro streams through fused cached plans;
@@ -129,9 +166,10 @@ class Driver:
         chip,
         config: Optional[PIMConfig] = None,
         parallelism: str = "parallel",
-        cache_size: int = 4096,
+        cache_size: Optional[int] = None,
         guard: bool = False,
         emit_mode: Optional[str] = None,
+        cache_dir: Optional[str] = None,
     ):
         if parallelism not in ("parallel", "serial"):
             raise ValueError("parallelism must be 'parallel' or 'serial'")
@@ -140,14 +178,23 @@ class Driver:
         self.parallelism = parallelism
         self.guard = guard
         self.emit_mode = resolve_emit_mode(emit_mode)
+        cache_size = resolve_cache_size(cache_size)
         self.cache_enabled = cache_size > 0
-        self.programs = ProgramCache(maxsize=cache_size)
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        #: The durable cross-session tier (``None`` when no cache
+        #: directory is configured); shared by both in-memory tiers.
+        self.persist: Optional[PersistentProgramCache] = (
+            PersistentProgramCache(self.cache_dir, self.config)
+            if self.cache_dir is not None
+            else None
+        )
+        self.programs = ProgramCache(maxsize=cache_size, store=self.persist)
         #: The stream tier: fused multi-instruction programs and
         #: :class:`~repro.driver.stream.StreamPlan`\ s, keyed on the
         #: instruction-tuple signature plus everything lowering depends
         #: on. Separate from :attr:`programs` (the per-R-type body tier)
         #: so body-cache hit rates stay meaningful.
-        self.streams = ProgramCache(maxsize=cache_size)
+        self.streams = ProgramCache(maxsize=cache_size, store=self.persist)
         # The config is fixed for the driver's lifetime; hoist the
         # fingerprint out of the per-instruction cache-key path.
         self._fingerprint = config_fingerprint(self.config)

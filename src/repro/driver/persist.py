@@ -1,0 +1,228 @@
+"""Cross-session persistence for compiled micro-op programs.
+
+Gate building dominates cold-start latency: the 20-25x cold/warm gap in
+``results/compile_cache.txt`` is almost entirely the cost of recording
+R-type bodies through :class:`~repro.driver.gates.GateBuilder`.  Within a
+session the driver's :class:`~repro.driver.program.ProgramCache` tiers
+absorb that cost, but every new process pays it again.  This module makes
+the cache *durable*: compiled :class:`~repro.driver.program.MicroProgram`
+entries are written through to a cache directory and loaded back on the
+first miss of a later session, so a warm-started process (``pim.init(
+cache_dir=...)``, or ``REPRO_CACHE_DIR``) skips gate building entirely.
+
+Design constraints, in order:
+
+1. **Never replay a stale or foreign program.** Entries embed the format
+   version, the config fingerprint, and the *full repr of the cache key*
+   (SHA-256 keys the filename; the embedded repr guards against
+   collisions and key-scheme drift between repo versions). Any mismatch
+   is treated as a miss.
+2. **Never crash on bad cache state.** A corrupt, truncated,
+   version-skewed or otherwise unreadable entry falls back to a cold
+   compile; the offending file is deleted best-effort so the fresh
+   compile heals the cache. I/O errors (read-only dirs, races with
+   concurrent writers) degrade to cold compiles, never exceptions.
+3. **Atomic writes.** Entries are written to a temp file and
+   ``os.replace``\\ d into place, so concurrent processes sharing a
+   cache directory can only ever observe whole entries.
+
+Serialized form: one JSON file per entry holding the program metadata
+plus the ops as their 64-bit binary encodings (the same
+:func:`~repro.arch.micro_ops.encode` words the DMA path ships), packed
+little-endian into one base64 blob and bulk-decoded through
+:func:`~repro.arch.micro_ops.decode_many` on load — a warm start must
+not spend its win parsing a six-digit integer list.  Cache keys are
+deterministic across processes because every key component has a
+value-based repr (enums, frozen dataclasses, strings, ints).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.micro_ops import decode, decode_many, encode
+from repro.driver.program import MicroProgram, config_fingerprint
+
+#: Bump when the on-disk entry layout (or the meaning of any field)
+#: changes; older entries then read as cold misses, never as garbage.
+#: v2: ops stored as one base64 little-endian uint64 blob (was an int list).
+FORMAT_VERSION = 2
+
+#: Environment variable supplying a default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(requested: "str | None" = None) -> Optional[str]:
+    """The effective persistent-cache directory (``None`` disables)."""
+    return requested or os.environ.get(CACHE_DIR_ENV) or None
+
+
+def _key_repr(key: Hashable) -> str:
+    """The canonical serialized form of a cache key.
+
+    Stable across processes: keys are built from enums, frozen
+    dataclasses, strings, ints and tuples of those, all of which repr by
+    value (``PYTHONHASHSEED`` never enters the picture because the
+    *repr*, not the hash, is serialized).
+    """
+    return repr(key)
+
+
+class PersistentProgramCache:
+    """A durable write-through store behind the in-memory program cache.
+
+    One instance per driver, shared by both cache tiers (bodies and
+    streams — entries embed their full key, so the tiers cannot
+    collide).  Lookup is lazy: nothing is scanned at init; each in-memory
+    miss probes exactly one file.
+
+    Counters (snapshotted by ``pim.Profiler`` via
+    ``Backend.persist_counters()``):
+
+    - ``loads`` — entries restored from disk (gate building skipped);
+    - ``misses`` — probes that found no entry;
+    - ``invalid`` — entries rejected (corrupt/truncated file, format
+      version skew, config-fingerprint mismatch, key collision) and
+      deleted best-effort;
+    - ``stores`` — entries written.
+    """
+
+    def __init__(self, cache_dir: str, config: PIMConfig):
+        self.cache_dir = cache_dir
+        self.config = config
+        self.fingerprint = config_fingerprint(config)
+        self.loads = 0
+        self.misses = 0
+        self.invalid = 0
+        self.stores = 0
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        return {
+            "loads": self.loads,
+            "misses": self.misses,
+            "invalid": self.invalid,
+            "stores": self.stores,
+        }
+
+    def _path(self, key: Hashable) -> str:
+        digest = hashlib.sha256(_key_repr(key).encode()).hexdigest()[:40]
+        return os.path.join(self.cache_dir, f"pim-{digest}.json")
+
+    # ------------------------------------------------------------------
+    def load(self, key: Hashable) -> Optional[MicroProgram]:
+        """Restore a program, or ``None`` (cold compile) on any problem."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            # Unreadable or not-JSON (corrupt/truncated): treat as
+            # invalid so the fresh compile overwrites it.
+            self._reject(path)
+            return None
+        try:
+            program = self._deserialize(entry, key)
+        except Exception:
+            self._reject(path)
+            return None
+        if program is None:
+            self._reject(path)
+            return None
+        self.loads += 1
+        return program
+
+    def store(self, key: Hashable, program: MicroProgram) -> None:
+        """Write a program through to disk (atomically; errors ignored)."""
+        if program.config_fingerprint != self.fingerprint:
+            return
+        entry = {
+            "version": FORMAT_VERSION,
+            "key": _key_repr(key),
+            "fingerprint": list(self.fingerprint),
+            "word_size": self.config.word_size,
+            "name": program.name,
+            "reads": program.reads,
+            "macros": program.macros,
+            "source_ops": program.source_ops,
+            "ops": base64.b64encode(
+                np.array(
+                    [encode(op, self.config.word_size) for op in program.ops],
+                    dtype="<u8",
+                ).tobytes()
+            ).decode("ascii"),
+        }
+        path = self._path(key)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # read-only cache dir, disk full, ...: stay cold
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def _deserialize(
+        self, entry: dict, key: Hashable
+    ) -> Optional[MicroProgram]:
+        """Rebuild a program; ``None`` marks an invalid/stale entry."""
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("version") != FORMAT_VERSION:
+            return None  # version skew: recompile under the new format
+        if tuple(entry.get("fingerprint", ())) != self.fingerprint:
+            return None  # compiled for a different geometry
+        if entry.get("word_size") != self.config.word_size:
+            return None
+        if entry.get("key") != _key_repr(key):
+            return None  # hash collision or key-scheme drift
+        words = np.frombuffer(
+            base64.b64decode(entry["ops"], validate=True), dtype="<u8"
+        )
+        ops = decode_many(words, self.config.word_size)
+        return MicroProgram(
+            ops=ops,
+            name=str(entry["name"]),
+            config_fingerprint=self.fingerprint,
+            reads=int(entry["reads"]),
+            macros=int(entry["macros"]),
+            source_ops=int(entry["source_ops"]),
+        )
+
+    def _reject(self, path: str) -> None:
+        """Count and delete (best-effort) an invalid entry."""
+        self.invalid += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def serialize_roundtrip(program: MicroProgram, config: PIMConfig) -> Tuple:
+    """The encode/decode round-trip of a program's ops (test helper)."""
+    return tuple(
+        decode(encode(op, config.word_size), config.word_size)
+        for op in program.ops
+    )

@@ -30,6 +30,7 @@ blocks (``BufferSink.execute_batch``), or via the simulator's
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
@@ -256,12 +257,28 @@ class ProgramCache:
     instruction-tuple signature plus the emission mode). Keeping the
     tiers separate keeps each one's hit/miss accounting meaningful;
     ``SimulatorBackend.cache_hits``/``cache_misses`` report the sum.
+
+    Both tiers are thread-safe: lookups and inserts hold an internal
+    lock, so a driver shared by several serving threads (see
+    :mod:`repro.serve`) keeps coherent LRU order and exact counters.
+    Capacity overflow evicts least-recently-used entries and counts them
+    in :attr:`evictions` (surfaced via ``Backend.cache_counters()``).
+
+    When a :class:`~repro.driver.persist.PersistentProgramCache` is
+    attached as ``store``, misses probe the disk tier before reporting a
+    miss, and inserts write through — the cross-session warm-start path
+    (``pim.init(cache_dir=...)``). Only :class:`MicroProgram` values
+    persist; plan-tier wrappers (``StreamPlan``, the ``UNSUPPORTED``
+    sentinel) are cheap to rebuild and stay in-memory only.
     """
 
-    def __init__(self, maxsize: int = 4096):
+    def __init__(self, maxsize: int = 4096, store=None):
         self.maxsize = max(int(maxsize), 0)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.store = store
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[ProgramKey, MicroProgram]" = OrderedDict()
 
     @property
@@ -276,23 +293,43 @@ class ProgramCache:
 
     def get(self, key: ProgramKey) -> Optional[MicroProgram]:
         """Look up a program, counting the hit/miss and refreshing LRU order."""
-        program = self._entries.get(key)
-        if program is None:
+        with self._lock:
+            program = self._entries.get(key)
+            if program is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return program
+        if self.store is not None and self.enabled:
+            # Probe the disk tier outside the lock (file I/O); a load
+            # still counts as a hit for callers — the compile was
+            # skipped — and the entry is promoted into the LRU.
+            program = self.store.load(key)
+            if program is not None:
+                with self._lock:
+                    self.hits += 1
+                    self._insert(key, program)
+                return program
+        with self._lock:
             self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return program
+        return None
 
     def put(self, key: ProgramKey, program: MicroProgram) -> None:
         """Insert a program, evicting the least-recently-used beyond maxsize."""
         if not self.enabled:
             return
+        with self._lock:
+            self._insert(key, program)
+        if self.store is not None and isinstance(program, MicroProgram):
+            self.store.store(key, program)
+
+    def _insert(self, key: ProgramKey, program: MicroProgram) -> None:
         self._entries[key] = program
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
-        """Drop all entries (counters are preserved)."""
-        self._entries.clear()
+        """Drop all in-memory entries (counters and disk tier preserved)."""
+        with self._lock:
+            self._entries.clear()

@@ -50,6 +50,7 @@ tensor per call.
 from __future__ import annotations
 
 import functools
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -309,6 +310,12 @@ class CompiledFunction:
         self._device = device
         self._cache: "OrderedDict[Tuple, CompiledGraph]" = OrderedDict()
         self.captures = 0
+        # Serving threads share CompiledFunction objects (the per-session
+        # handle is the function, not the device), so the signature cache
+        # and capture/replay critical section take a lock. Reentrant:
+        # a traced body may call back into the same compiled function
+        # (the nested-capture inlining path).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _signature(self, device, args) -> Tuple:
@@ -362,19 +369,23 @@ class CompiledFunction:
         from repro.pim.device import default_device
 
         device = self._device or default_device()
-        if device._trace is not None:
-            # Nested inside another capture: inline into the outer graph.
+        if device.tracing_here:
+            # Nested inside another capture *on this thread*: inline into
+            # the outer graph. Another thread's in-progress capture does
+            # not count — those callers fall through to the lock below
+            # and wait their turn.
             return self.fn(*args)
-        key = self._signature(device, args)
-        entry = self._cache.get(key)
-        if entry is not None and entry.device is device and not device.closed:
-            self._cache.move_to_end(key)
-            return entry.replay(args)
-        if entry is not None:
-            entry.release()
-        entry, first = self._capture(device, args)
-        self._store(key, entry)
-        return first
+        with self._lock:
+            key = self._signature(device, args)
+            entry = self._cache.get(key)
+            if entry is not None and entry.device is device and not device.closed:
+                self._cache.move_to_end(key)
+                return entry.replay(args)
+            if entry is not None:
+                entry.release()
+            entry, first = self._capture(device, args)
+            self._store(key, entry)
+            return first
 
     def _store(self, key: Tuple, entry: CompiledGraph) -> None:
         """Insert a captured graph, enforcing the LRU bound.
@@ -400,13 +411,14 @@ class CompiledFunction:
         from repro.pim.device import default_device
 
         device = self._device or default_device()
-        key = self._signature(device, args)
-        entry = self._cache.get(key)
-        if entry is None or entry.device is not device or device.closed:
-            if entry is not None:
-                entry.release()
-            entry, _ = self._capture(device, args)
-            self._store(key, entry)
+        with self._lock:
+            key = self._signature(device, args)
+            entry = self._cache.get(key)
+            if entry is None or entry.device is not device or device.closed:
+                if entry is not None:
+                    entry.release()
+                entry, _ = self._capture(device, args)
+                self._store(key, entry)
         return entry
 
     def graph_for(self, *args) -> Graph:

@@ -15,6 +15,7 @@ use instead of silently touching a stale allocator.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -44,6 +45,7 @@ class PIMDevice:
         self.allocator = Allocator(self.config)
         self.closed = False
         self._trace = None
+        self._trace_owner: Optional[int] = None
         #: Optimizer reports of recent graph lowerings on this device
         #: (``opt_level >= 1``), newest last, bounded to the last 32.
         #: ``pim.Profiler`` snapshots this to report the pre- vs
@@ -110,7 +112,7 @@ class PIMDevice:
         """Run one macro-instruction on the backend (recorded when tracing)."""
         self._check_open()
         result = self.backend.execute(instr)
-        if self._trace is not None:
+        if self.tracing_here:
             self._trace.record(instr)
         return result
 
@@ -127,7 +129,7 @@ class PIMDevice:
         self._check_open()
         instrs = list(instructions)
         result = self.backend.run_stream(instrs, name=name)
-        if self._trace is not None:
+        if self.tracing_here:
             for instr in instrs:
                 self._trace.record(instr)
         return result
@@ -163,15 +165,31 @@ class PIMDevice:
         if self._trace is not None:
             raise TraceError("a trace is already active on this device")
         self._trace = TraceSession(self, name)
+        self._trace_owner = threading.get_ident()
         # Observe allocator frees: the optimizer's dead-temporary
         # analysis needs to know which traced cells outlive the capture.
         self.allocator.observer = self._trace
         return self._trace
 
+    @property
+    def tracing_here(self) -> bool:
+        """True when a trace is active *and owned by the calling thread*.
+
+        Nested-capture inlining must key on this, not on ``_trace`` being
+        set: with serving threads sharing compiled functions, another
+        thread's in-progress capture would otherwise be mistaken for "we
+        are inside our own trace" and executed eagerly against it.
+        """
+        return (
+            self._trace is not None
+            and self._trace_owner == threading.get_ident()
+        )
+
     def end_trace(self):
         """Detach and freeze the active trace session."""
         session = self._trace
         self._trace = None
+        self._trace_owner = None
         self.allocator.observer = None
         if session is not None:
             session.close()
@@ -309,11 +327,19 @@ def init(
     Keyword arguments matching :class:`~repro.arch.config.PIMConfig`
     fields construct a config directly (``pim.init(crossbars=4, rows=64)``);
     the rest are forwarded to the backend (e.g. ``parallelism="serial"``,
-    ``cache_size=0``, ``move_cost="htree"``, or the simulator backend's
+    ``move_cost="htree"``, or the simulator backend's
     ``replay_engine="thunk"`` to disable vectorized super-step replay).
     ``backend`` selects the execution engine: ``"simulator"`` (default,
-    bit-accurate) or ``"numpy"`` (fast functional model, same cycle
-    accounting).
+    bit-accurate), ``"numpy"`` (fast functional model, same cycle
+    accounting), or ``"pooled"`` (inter-crossbar sharding across worker
+    backends; ``workers=4`` and ``worker_backend="simulator"`` select
+    the pool shape — see :mod:`repro.pool`).
+
+    Cache controls: ``cache_size=`` bounds each program-cache tier's LRU
+    (default from ``REPRO_CACHE_SIZE``, else 4096; 0 disables) and
+    ``cache_dir=`` enables the cross-session persistent program cache
+    (default from ``REPRO_CACHE_DIR``) so a warm-started session skips
+    gate building — see :mod:`repro.driver.persist`.
 
     The previous default device (if any) is closed: tensors allocated on
     it raise a clear error instead of touching stale state.

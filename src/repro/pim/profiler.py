@@ -36,6 +36,14 @@ class Profiler:
         #: ``repro.backend``).
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        #: LRU evictions across the backend's cache tiers in the block
+        #: (non-zero means the working set outgrew ``cache_size``).
+        self.cache_evictions: int = 0
+        #: Persistent-cache activity inside the block
+        #: (``loads``/``misses``/``invalid``/``stores`` deltas; empty
+        #: when no ``cache_dir`` is configured).
+        self.persist_counts: dict = {}
+        self._persist_before: dict = {}
         #: :class:`~repro.pim.optimizer.OptReport`\ s of graphs lowered
         #: inside the block (``opt_level >= 1`` captures): the pre- vs
         #: post-optimization instruction and cycle counts.
@@ -65,13 +73,21 @@ class Profiler:
         self._reports_before = tuple(self.device.opt_reports)
         self._replay_before = self.device.backend.replay_counters()
         self._emit_before = self.device.backend.emit_counters()
+        self._persist_before = self.device.backend.persist_counters()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stats = self.device.backend.stats.diff(self._before)
-        hits, misses = self.device.backend.cache_counters()
+        hits, misses, evictions = self.device.backend.cache_counters()
         self.cache_hits = hits - self._cache_before[0]
         self.cache_misses = misses - self._cache_before[1]
+        self.cache_evictions = evictions - self._cache_before[2]
+        persists = self.device.backend.persist_counters()
+        self.persist_counts = {
+            kind: count - self._persist_before.get(kind, 0)
+            for kind, count in persists.items()
+            if count - self._persist_before.get(kind, 0)
+        }
         seen = {id(report) for report in self._reports_before}
         self.opt_reports = [
             report
@@ -94,8 +110,15 @@ class Profiler:
             print(self.stats.summary())
             print(
                 f"  program cache  {self.cache_hits} hits / "
-                f"{self.cache_misses} misses"
+                f"{self.cache_misses} misses / "
+                f"{self.cache_evictions} evictions"
             )
+            if self.persist_counts:
+                detail = " / ".join(
+                    f"{count} {kind}"
+                    for kind, count in sorted(self.persist_counts.items())
+                )
+                print(f"  persistent cache  {detail}")
             if self.replay_counts:
                 detail = " / ".join(
                     f"{count} {engine}"

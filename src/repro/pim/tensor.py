@@ -37,9 +37,18 @@ from repro.pim.malloc import Slot
 Scalar = Union[int, float, np.integer, np.floating]
 
 
+def _active_trace(device: PIMDevice):
+    """The device's trace session if *this thread* owns it, else None.
+
+    Tensor work from other threads must never record into (or defer
+    scalars against) a capture that happens to be in flight elsewhere.
+    """
+    return device._trace if device.tracing_here else None
+
+
 def _node(device: PIMDevice, kind: str, **meta):
     """Graph-node scope when the device is tracing, else a no-op."""
-    trace = device._trace
+    trace = _active_trace(device)
     if trace is None:
         return nullcontext()
     return trace.node(kind, **meta)
@@ -59,8 +68,9 @@ class Tensor:
         self.length = length
         self.dtype = dtype
         self.slot = device.allocator.allocate(length, reference=reference)
-        if device._trace is not None:
-            device._trace.track(self)
+        trace = _active_trace(device)
+        if trace is not None:
+            trace.track(self)
 
     @classmethod
     def _from_slot(cls, device: PIMDevice, slot: Slot, length: int, dtype: DType):
@@ -70,8 +80,9 @@ class Tensor:
         tensor.length = length
         tensor.dtype = dtype
         tensor.slot = slot
-        if device._trace is not None:
-            device._trace.track(tensor)
+        trace = _active_trace(device)
+        if trace is not None:
+            trace.track(tensor)
         return tensor
 
     # ------------------------------------------------------------------
@@ -137,7 +148,7 @@ class Tensor:
     def __getitem__(self, key):
         if isinstance(key, slice):
             view = TensorView(self, RangeMask.from_slice(key, self.length))
-            trace = self.device._trace
+            trace = _active_trace(self.device)
             if trace is not None:
                 trace.note("view", slice=key, length=view.length)
             return view
@@ -145,7 +156,7 @@ class Tensor:
         device = self.device
         warp, thread = device.locate(self.slot, index)
         instr = ReadInstr(warp, thread, self.slot.reg)
-        trace = device._trace
+        trace = _active_trace(device)
         if trace is not None:
             with trace.node("read", index=index):
                 raw = device.execute(instr)

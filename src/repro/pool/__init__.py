@@ -1,0 +1,14 @@
+"""Multi-crossbar device pooling: inter-crossbar sharding of tensor work.
+
+:class:`~repro.pool.backend.PooledBackend` generalizes the driver's
+intra-crossbar partition parallelism (:mod:`repro.driver.parallel`) one
+level up: a memory of ``C`` crossbars is carved into ``N`` equal shards,
+each owned by an independent worker backend, and every macro-instruction
+is split along its warp mask and dispatched to the shards it touches —
+all behind the same :class:`~repro.backend.base.Backend` protocol, so
+``pim.init(backend="pooled", workers=4)`` is the whole switch.
+"""
+
+from repro.pool.backend import PooledBackend, PooledProgram
+
+__all__ = ["PooledBackend", "PooledProgram"]

@@ -1,0 +1,475 @@
+"""The pooled backend: N worker backends sharding one crossbar space.
+
+Sharding model
+--------------
+
+A :class:`PooledBackend` over a config of ``C`` crossbars owns ``N``
+workers (``N`` a power of two, ``N <= C``); worker ``k`` executes warps
+``[k*C/N, (k+1)*C/N)`` on its own :class:`~repro.backend.simulator.
+SimulatorBackend` or :class:`~repro.backend.numpy_backend.NumpyBackend`
+built for the ``C/N``-crossbar sub-geometry. All workers share one
+``(C, registers, rows)`` word image — each worker's memory array is a
+contiguous axis-0 view into it — so DMA marshalling
+(``PIMDevice.load_array``/``dump_array`` writing ``backend.words``)
+needs no scatter/gather, and cross-shard data movement is a plain slice
+copy.
+
+Instruction routing:
+
+- :class:`~repro.isa.instructions.RInstr` / ``WriteInstr`` / intra-warp
+  ``MoveInstr`` (``warp_dist == 0``): the warp mask is intersected with
+  each shard's window, rebased to shard-local coordinates, and the
+  localized instruction dispatched to every worker it touches.
+- ``ReadInstr``: routed to the worker owning the warp.
+- Inter-warp ``MoveInstr`` (``warp_dist != 0``): always executed at pool
+  level as a *bridge* — a functional slice copy over the shared image.
+  H-tree legality depends on the total crossbar count, so validating the
+  full-geometry pattern at pool level (never a rebased shard pattern)
+  keeps accept/reject behavior bit-identical to a single device.
+
+Cycle accounting is *canonical*, not additive: the pool charges the
+full-geometry accounting walk of the driver's lowering for every
+instruction (memoized, exactly like the NumPy backend), so a pooled run
+reports the same :class:`~repro.sim.stats.SimStats` a single device
+would — the crossbars of one memory operate in lock-step, and sharding
+the host-side work does not change what the chip executes. Worker
+backends keep their own per-shard stats for inspection
+(:meth:`PooledBackend.worker_stats`).
+
+Compiled streams (:meth:`PooledBackend.compile`) become a
+:class:`PooledProgram`: the instruction stream is cut at bridges into
+segments, each segment compiled per worker it touches, and replay runs
+segments in order (bridges at pool level, shard segments through each
+worker's own compiled-replay fast path). The replayed response is the
+globally-last read's worker result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.masks import RangeMask
+from repro.backend.base import Backend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.simulator import SimulatorBackend
+from repro.driver.driver import Driver
+from repro.driver.program import config_fingerprint
+from repro.isa.instructions import (
+    Instruction,
+    MoveInstr,
+    ReadInstr,
+    RInstr,
+    WriteInstr,
+    validate,
+)
+from repro.sim.simulator import SimulationError, accounting_walk
+from repro.sim.stats import SimStats
+
+#: Worker-backend choices for ``pim.init(backend="pooled", worker_backend=...)``.
+WORKER_BACKENDS = {
+    "simulator": SimulatorBackend,
+    "sim": SimulatorBackend,
+    "bit": SimulatorBackend,
+    "numpy": NumpyBackend,
+    "functional": NumpyBackend,
+}
+
+
+def shard_mask(mask: RangeMask, lo: int, hi: int) -> Optional[RangeMask]:
+    """Intersect a full-geometry range mask with the window ``[lo, hi]``.
+
+    Returns the intersection *rebased to window-local coordinates*, or
+    ``None`` when the mask selects nothing inside the window. The step is
+    preserved, so strided masks spanning several shards split exactly.
+    """
+    if mask.start > hi or mask.stop < lo:
+        return None
+    step = mask.step
+    first = mask.start
+    if first < lo:
+        first += -(-(lo - first) // step) * step
+    top = min(mask.stop, hi)
+    if first > top:
+        return None
+    last = first + ((top - first) // step) * step
+    return RangeMask(first - lo, last - lo, step)
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One replay unit of a :class:`PooledProgram`.
+
+    ``kind == "bridge"``: ``instr`` is the inter-warp move executed at
+    pool level. ``kind == "shard"``: ``programs`` maps worker index to
+    that worker's compiled program for this run of instructions.
+    """
+
+    kind: str
+    instr: Optional[MoveInstr] = None
+    programs: Optional[Tuple[Tuple[int, object], ...]] = None
+
+
+@dataclass(frozen=True, eq=False)
+class PooledProgram:
+    """A compiled macro stream, pre-split across the worker shards.
+
+    Identity-hashed like its single-device twins. ``stats_delta`` is the
+    canonical full-geometry cycle bill charged once per replay;
+    ``response_site`` is the ``(segment index, worker index)`` holding
+    the stream's last read (``None`` for read-free streams).
+    """
+
+    segments: Tuple[_Segment, ...]
+    name: str
+    config_fingerprint: Tuple[int, int, int, int, int]
+    stats_delta: SimStats
+    macros: int
+    source_ops: int = 0
+    response_site: Optional[Tuple[int, int]] = None
+
+    def __len__(self) -> int:
+        return self.stats_delta.micro_ops
+
+
+class PooledBackend(Backend):
+    """N-worker inter-crossbar sharding behind the ``Backend`` protocol.
+
+    Args:
+        config: the *full* geometry (all ``C`` crossbars).
+        workers: shard count ``N`` (power of two, at most ``C``).
+        worker_backend: per-shard engine — ``"simulator"`` (bit-accurate,
+            default) or ``"numpy"`` (functional).
+        move_cost: the move-cost model, applied to both the canonical
+            accounting and the workers.
+        **driver_kwargs: forwarded to the accounting driver and every
+            worker (``parallelism``, ``cache_size``, ``cache_dir``, ...),
+            so e.g. a persistent cache directory warms all shards.
+    """
+
+    name = "pooled"
+
+    def __init__(
+        self,
+        config: PIMConfig,
+        workers: int = 4,
+        worker_backend: str = "simulator",
+        move_cost: str = "unit",
+        **driver_kwargs,
+    ):
+        super().__init__(config)
+        workers = int(workers)
+        if workers < 1 or (workers & (workers - 1)):
+            raise ValueError("workers must be a positive power of two")
+        if workers > config.crossbars:
+            raise ValueError(
+                f"cannot shard {config.crossbars} crossbars across "
+                f"{workers} workers"
+            )
+        try:
+            worker_cls = WORKER_BACKENDS[str(worker_backend).lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown worker backend {worker_backend!r}; choose from "
+                f"{sorted(set(WORKER_BACKENDS))}"
+            ) from None
+        self.shard = config.crossbars // workers
+        self._sub_config = replace(config, crossbars=self.shard)
+        self.workers: List[Backend] = [
+            worker_cls(self._sub_config, move_cost=move_cost, **driver_kwargs)
+            for _ in range(workers)
+        ]
+        # One shared word image; each worker's memory becomes a contiguous
+        # axis-0 view (safe pre-execution: simulator replay plans and the
+        # numpy backend's closures resolve regions lazily, so every later
+        # access goes through the view).
+        self._words = np.zeros_like(self._worker_words(0), shape=(
+            config.crossbars, config.registers, config.rows
+        ))
+        for k in range(workers):
+            lo = k * self.shard
+            self._set_worker_words(k, self._words[lo : lo + self.shard])
+        self.move_cost = move_cost
+        self._stats = SimStats()
+        # The accounting driver lowers against the FULL geometry purely to
+        # price instructions; its chip port is never used.
+        self._acc = Driver(None, config=config, **driver_kwargs)
+        self._instr_stats: Dict[Instruction, SimStats] = {}
+        self._hits = 0
+        self._misses = 0
+        self._stream_programs: Dict[Tuple, PooledProgram] = {}
+        self._emit_counters: Dict[str, int] = {"stream": 0, "macro": 0}
+
+    # ------------------------------------------------------------------
+    # Worker memory plumbing
+    # ------------------------------------------------------------------
+    def _worker_words(self, k: int) -> np.ndarray:
+        worker = self.workers[k]
+        if isinstance(worker, SimulatorBackend):
+            return worker.simulator.memory.words
+        return worker._words
+
+    def _set_worker_words(self, k: int, view: np.ndarray) -> None:
+        worker = self.workers[k]
+        if isinstance(worker, SimulatorBackend):
+            worker.simulator.memory.words = view
+        else:
+            worker._words = view
+
+    def worker_stats(self) -> List[SimStats]:
+        """Per-shard stats snapshots (host-side accounting of each worker)."""
+        return [worker.stats.copy() for worker in self.workers]
+
+    # ------------------------------------------------------------------
+    # Backend interface
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> np.ndarray:
+        return self._words
+
+    @property
+    def stats(self) -> SimStats:
+        return self._stats
+
+    @property
+    def cache_hits(self) -> int:
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._misses
+
+    @property
+    def cache_evictions(self) -> int:
+        total = self._acc.programs.evictions + self._acc.streams.evictions
+        for worker in self.workers:
+            total += worker.cache_evictions
+        return total
+
+    def persist_counters(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        drivers = [self._acc] + [
+            w.driver if isinstance(w, SimulatorBackend) else w._driver
+            for w in self.workers
+        ]
+        for driver in drivers:
+            if driver.persist is None:
+                continue
+            for kind, count in driver.persist.counters().items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    def execute(self, instr: Instruction) -> Optional[int]:
+        validate(instr, self.config.registers)
+        delta = self._instr_stats.get(instr)
+        if delta is None:
+            self._misses += 1
+            ops = self._acc._lower_ops(instr)
+            try:
+                delta = self._replay_stats(ops)
+            except SimulationError:
+                self._charge_rejected_move(instr)
+                raise
+            if len(self._instr_stats) < 65536:
+                self._instr_stats[instr] = delta
+        else:
+            self._hits += 1
+        result = self._dispatch(instr)
+        self._stats.merge(delta)
+        return result
+
+    def compile(
+        self,
+        instructions: Sequence[Instruction],
+        name: str = "stream",
+        optimize: bool = True,
+    ) -> PooledProgram:
+        """Compile a stream: price it against the full geometry, then cut
+        it at bridge moves and compile each segment per worker shard."""
+        instrs = tuple(instructions)
+        micro = self._acc.compile(list(instrs), name=name, optimize=optimize)
+        delta = self._replay_stats(micro.ops)
+        segments, response_site = self._partition(instrs, name, optimize)
+        return PooledProgram(
+            segments,
+            name,
+            config_fingerprint(self.config),
+            delta,
+            macros=len(instrs),
+            source_ops=micro.source_ops,
+            response_site=response_site,
+        )
+
+    def run_program(self, program: PooledProgram) -> Optional[int]:
+        if program.config_fingerprint != config_fingerprint(self.config):
+            raise SimulationError(
+                f"program {program.name!r} was compiled for fingerprint "
+                f"{program.config_fingerprint}, this backend is "
+                f"{config_fingerprint(self.config)}"
+            )
+        self._hits += 1
+        response: Optional[int] = None
+        for index, segment in enumerate(program.segments):
+            if segment.kind == "bridge":
+                self._bridge_move(segment.instr)
+                continue
+            for k, sub in segment.programs:
+                result = self.workers[k].run_program(sub)
+                if program.response_site == (index, k):
+                    response = result
+        self._stats.merge(program.stats_delta)
+        return response
+
+    def run_stream(
+        self, instructions: Sequence[Instruction], name: str = "stream"
+    ) -> Optional[int]:
+        """Emit a whole stream through one cached :class:`PooledProgram`
+        (the pooled twin of the driver's ``execute_stream`` ladder)."""
+        from repro.driver.stream import MacroStream
+
+        instrs = MacroStream.wrap(instructions)
+        if not instrs:
+            return None
+        if self._acc.emit_mode == "stream":
+            key = (instrs, name)
+            program = self._stream_programs.get(key)
+            if program is None:
+                program = self.compile(instrs, name=name, optimize=False)
+                if len(self._stream_programs) < 4096:
+                    self._stream_programs[key] = program
+            self._emit_counters["stream"] += 1
+            return self.run_program(program)
+        self._emit_counters["macro"] += 1
+        response: Optional[int] = None
+        for instr in instrs:
+            result = self.execute(instr)
+            if result is not None:
+                response = result
+        return response
+
+    def emit_counters(self) -> Dict[str, int]:
+        return dict(self._emit_counters)
+
+    def program_stats(self, program: PooledProgram) -> SimStats:
+        return program.stats_delta.copy()
+
+    def stream_stats(self, instructions: Sequence[Instruction]) -> SimStats:
+        ops = []
+        for instr in instructions:
+            ops.extend(self._acc._lower_ops(instr))
+        return self._replay_stats(ops)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, instr: Instruction) -> Optional[int]:
+        if isinstance(instr, ReadInstr):
+            k = instr.warp // self.shard
+            return self.workers[k].execute(
+                replace(instr, warp=instr.warp - k * self.shard)
+            )
+        if isinstance(instr, MoveInstr) and instr.warp_dist:
+            self._bridge_move(instr)
+            return None
+        for k, local in self._localize(instr):
+            self.workers[k].execute(local)
+        return None
+
+    def _localize(self, instr: Instruction):
+        """Split a warp-masked instruction across the shards it touches."""
+        mask = instr.warp_mask or RangeMask.all(self.config.crossbars)
+        for k in range(len(self.workers)):
+            lo = k * self.shard
+            local = shard_mask(mask, lo, lo + self.shard - 1)
+            if local is not None:
+                yield k, replace(instr, warp_mask=local)
+
+    def _bridge_move(self, instr: MoveInstr) -> None:
+        """Execute an inter-warp move over the shared word image.
+
+        The H-tree pattern was already validated against the full
+        geometry by the canonical accounting (strict walk), which runs
+        before any mutation — so by the time a bridge executes, the move
+        is known legal and reduces to an exact word copy.  To stay
+        bit-identical with the single-device memory image, the staging
+        residue of the lowering is reproduced too: the H-tree lands the
+        word in ``stage1`` of the destination warps and the NOT pair
+        leaves ``stage2 = ~v`` before writing the destination register.
+        """
+        warps = instr.warp_mask or RangeMask.all(self.config.crossbars)
+        sources = np.fromiter(warps.indices(), dtype=np.int64)
+        dests = sources + instr.warp_dist
+        value = self._words[sources, instr.src_reg, instr.src_thread]
+        stage1, stage2 = self._acc._stage_registers()
+        self._words[dests, stage1, instr.dst_thread] = value
+        self._words[dests, stage2, instr.dst_thread] = ~value
+        self._words[dests, instr.dst_reg, instr.dst_thread] = value
+
+    def _partition(
+        self, instrs: Tuple[Instruction, ...], name: str, optimize: bool
+    ):
+        """Cut a stream at bridges; compile each segment per shard."""
+        segments: List[_Segment] = []
+        pending: List[List[Instruction]] = [[] for _ in self.workers]
+        pending_read: Optional[int] = None
+        response_site: Optional[Tuple[int, int]] = None
+
+        def flush() -> None:
+            nonlocal pending, pending_read, response_site
+            if any(pending):
+                programs = tuple(
+                    (
+                        k,
+                        self.workers[k].compile(
+                            sub,
+                            name=f"{name}#s{len(segments)}w{k}",
+                            optimize=optimize,
+                        ),
+                    )
+                    for k, sub in enumerate(pending)
+                    if sub
+                )
+                segments.append(_Segment("shard", programs=programs))
+                if pending_read is not None:
+                    response_site = (len(segments) - 1, pending_read)
+            pending = [[] for _ in self.workers]
+            pending_read = None
+
+        for instr in instrs:
+            if isinstance(instr, MoveInstr) and instr.warp_dist:
+                flush()
+                segments.append(_Segment("bridge", instr=instr))
+            elif isinstance(instr, ReadInstr):
+                k = instr.warp // self.shard
+                pending[k].append(
+                    replace(instr, warp=instr.warp - k * self.shard)
+                )
+                pending_read = k
+            else:
+                for k, local in self._localize(instr):
+                    pending[k].append(local)
+        flush()
+        return tuple(segments), response_site
+
+    # ------------------------------------------------------------------
+    # Canonical accounting
+    # ------------------------------------------------------------------
+    def _replay_stats(self, ops) -> SimStats:
+        """Full-geometry cycle bill with the simulator's accounting rules."""
+        return accounting_walk(
+            ops,
+            self.config,
+            self.move_cost,
+            xb=RangeMask.all(self.config.crossbars),
+            row=RangeMask.all(self.config.rows),
+            strict=True,
+        )
+
+    def _charge_rejected_move(self, instr: Instruction) -> None:
+        """Partial accounting for H-tree-rejected moves (simulator parity:
+        the crossbar-mask op executes before validation rejects the move)."""
+        if isinstance(instr, MoveInstr) and instr.warp_dist:
+            self._stats.record("mask_crossbar")

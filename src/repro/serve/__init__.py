@@ -1,0 +1,25 @@
+"""Async batch serving over a pool of PIM worker devices.
+
+Quickstart (see also ``python -m repro.serve --workers 4``)::
+
+    from repro.serve import CompiledWorkload, serve_workload
+
+    def model(a, b):
+        return a * b + a
+
+    results, metrics = serve_workload(
+        CompiledWorkload(model),
+        payloads=[(x_i, y_i) for ...],
+        workers=4,
+    )
+    print(metrics.requests_per_sec, metrics.p99_latency_s)
+"""
+
+from repro.serve.server import (
+    CompiledWorkload,
+    Server,
+    ServerMetrics,
+    serve_workload,
+)
+
+__all__ = ["CompiledWorkload", "Server", "ServerMetrics", "serve_workload"]

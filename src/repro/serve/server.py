@@ -1,0 +1,430 @@
+"""The async batch-serving scheduler over a pool of worker devices.
+
+:class:`Server` models the production front-end the ROADMAP's north star
+asks for: many logical sessions submit work concurrently, an asyncio
+scheduler coalesces compatible requests into batches, and batches are
+dispatched onto free worker devices — each worker a full
+:class:`~repro.pim.device.PIMDevice` replica (any backend, including the
+pooled one). Compiled-program caches do the heavy lifting: a worker that
+has already served a request signature replays the cached program, and a
+server started with ``cache_dir=`` warm-starts every worker from the
+cross-session :class:`~repro.driver.persist.PersistentProgramCache`.
+
+Latency accounting runs on *simulated device time*: executing a request
+costs ``cycles / frequency_hz`` seconds of its worker's clock, a request
+starts at ``max(arrival, worker-free time)``, and the reported p50/p99
+latencies and sustained requests/sec are computed on that clock. This
+keeps the scheduler's throughput claims about the modeled chip — which
+the host's GIL cannot serialize — while wall-clock time is reported
+alongside for the host-cost view.
+
+Batching is by *signature affinity*: the scheduler drains whatever is
+queued and groups requests whose workload and payload signature match,
+so a batch replays one compiled program repeatedly on one worker
+(maximum program-cache locality) instead of interleaving signatures
+across workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.pim.device import PIMDevice
+
+
+def _signature_of(workload: Callable, payload: Any) -> Tuple:
+    """The batching key: workload identity + payload shape/dtype."""
+    custom = getattr(workload, "signature", None)
+    if custom is not None:
+        return (id(workload), custom(payload))
+    if isinstance(payload, np.ndarray):
+        return (id(workload), payload.shape, str(payload.dtype))
+    if isinstance(payload, (tuple, list)):
+        return (
+            id(workload),
+            tuple(
+                (a.shape, str(a.dtype))
+                if isinstance(a, np.ndarray)
+                else (type(a).__name__, a)
+                for a in payload
+            ),
+        )
+    return (id(workload), type(payload).__name__)
+
+
+@dataclass
+class _Request:
+    """One queued unit of work (a logical session's call)."""
+
+    workload: Callable
+    payload: Any
+    arrival: float
+    key: Tuple
+    future: "asyncio.Future"
+
+
+@dataclass
+class _Worker:
+    """One pool worker: a device replica plus its simulated clock."""
+
+    index: int
+    device: PIMDevice
+    busy_until: float = 0.0
+    busy_time: float = 0.0
+    requests: int = 0
+    batches: int = 0
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregated serving statistics (simulated-time unless noted)."""
+
+    requests: int = 0
+    batches: int = 0
+    workers: int = 0
+    sim_makespan_s: float = 0.0
+    requests_per_sec: float = 0.0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    worker_busy_s: Tuple[float, ...] = ()
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "workers": self.workers,
+            "sim_makespan_s": self.sim_makespan_s,
+            "requests_per_sec": self.requests_per_sec,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "worker_busy_s": list(self.worker_busy_s),
+            "wall_s": self.wall_s,
+        }
+
+
+class Server:
+    """An asyncio batch scheduler over ``workers`` device replicas.
+
+    Args:
+        workers: pool size (device replicas, each its own backend).
+        config: device geometry (defaults to a small test geometry).
+        backend: backend name per worker (``"numpy"`` default — serving
+            wants host speed; use ``"simulator"`` for bit-level audits or
+            ``"pooled"`` to shard each replica further).
+        batch_limit: maximum requests coalesced into one batch.
+        **backend_kwargs: forwarded to every worker's backend
+            (``cache_dir=...`` warm-starts all workers from one
+            persistent program cache, ``parallelism``, ...).
+
+    Usage::
+
+        server = Server(workers=4)
+        await server.start()
+        result = await server.submit(workload, payload)
+        ...
+        await server.close()
+        print(server.metrics().as_dict())
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        config: Optional[PIMConfig] = None,
+        backend: str = "numpy",
+        batch_limit: int = 32,
+        **backend_kwargs,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.config = config or PIMConfig(crossbars=4, rows=64)
+        self.batch_limit = max(int(batch_limit), 1)
+        self.workers = [
+            _Worker(i, PIMDevice(self.config, backend=backend, **backend_kwargs))
+            for i in range(workers)
+        ]
+        self._queue: "asyncio.Queue[_Request]" = None  # built in start()
+        self._free: "asyncio.Queue[_Worker]" = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="pim-serve"
+        )
+        self._scheduler_task: Optional["asyncio.Task"] = None
+        self._dispatch_tasks: set = set()
+        self._loop: Optional["asyncio.AbstractEventLoop"] = None
+        self._sim_lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._arrivals: List[float] = []
+        self._ends: List[float] = []
+        self._batches = 0
+        self._wall_start: Optional[float] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "Server":
+        """Bind to the running event loop and start the scheduler."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._free = asyncio.Queue()
+        for worker in self.workers:
+            self._free.put_nowait(worker)
+        self._wall_start = time.perf_counter()
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        return self
+
+    async def submit(
+        self, workload: Callable, payload: Any = None, arrival: float = 0.0
+    ) -> Any:
+        """Queue one request and await its result.
+
+        ``workload(device, payload)`` runs on a free worker's thread;
+        ``arrival`` is the request's simulated arrival time (seconds on
+        the device clock — schedulers and benchmarks supply it, sessions
+        submitting "now" can leave 0.0).
+        """
+        if self._loop is None:
+            raise RuntimeError("Server.start() has not been awaited")
+        if self._closed:
+            raise RuntimeError("server is closed")
+        future = self._loop.create_future()
+        request = _Request(
+            workload,
+            payload,
+            float(arrival),
+            _signature_of(workload, payload),
+            future,
+        )
+        await self._queue.put(request)
+        return await future
+
+    async def close(self) -> None:
+        """Drain in-flight work and stop the scheduler."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+        if self._dispatch_tasks:
+            await asyncio.gather(*self._dispatch_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        group_cap = self.batch_limit * len(self.workers)
+        while True:
+            request = await self._queue.get()
+            group = [request]
+            deferred: List[_Request] = []
+            # Signature-affinity coalescing: take every queued request
+            # with the same key (up to one full pool round), requeue the
+            # rest. The queue is FIFO per signature, so per-session
+            # ordering of identical calls is preserved.
+            while len(group) < group_cap:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt.key == request.key:
+                    group.append(nxt)
+                else:
+                    deferred.append(nxt)
+            for item in deferred:
+                self._queue.put_nowait(item)
+            # Shard the group across the pool: one batch per worker (at
+            # most ``batch_limit`` each), dispatched as workers free up —
+            # same-signature floods parallelize instead of pinning one
+            # worker while the rest idle.
+            chunks = min(len(self.workers), len(group))
+            size = -(-len(group) // chunks)
+            for offset in range(0, len(group), size):
+                batch = group[offset : offset + size]
+                worker = await self._free.get()
+                task = self._loop.run_in_executor(
+                    self._executor, self._run_batch, worker, batch
+                )
+                self._dispatch_tasks.add(task)
+
+                def _release(done, worker=worker):
+                    self._dispatch_tasks.discard(done)
+                    self._free.put_nowait(worker)
+
+                task.add_done_callback(_release)
+
+    def _run_batch(self, worker: _Worker, batch: List[_Request]) -> None:
+        """Execute one batch on one worker (executor thread).
+
+        Simulated-time bookkeeping: each request occupies the worker's
+        clock for its measured device cycles; its latency is the span
+        from arrival to completion on that clock.
+        """
+        device = worker.device
+        with self._sim_lock:
+            self._batches += 1
+            worker.batches += 1
+        for request in batch:
+            cycles_before = device.backend.stats.cycles
+            try:
+                value = request.workload(device, request.payload)
+                error = None
+            except BaseException as exc:  # delivered to the caller
+                value, error = None, exc
+            cycles = device.backend.stats.cycles - cycles_before
+            duration = cycles / self.config.frequency_hz
+            with self._sim_lock:
+                start = max(request.arrival, worker.busy_until)
+                end = start + duration
+                worker.busy_until = end
+                worker.busy_time += duration
+                worker.requests += 1
+                self._arrivals.append(request.arrival)
+                self._ends.append(end)
+                self._latencies.append(end - request.arrival)
+            if error is not None:
+                self._loop.call_soon_threadsafe(
+                    _set_exception, request.future, error
+                )
+            else:
+                self._loop.call_soon_threadsafe(
+                    _set_result, request.future, value
+                )
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServerMetrics:
+        """Aggregate statistics over everything served so far."""
+        with self._sim_lock:
+            latencies = list(self._latencies)
+            arrivals = list(self._arrivals)
+            ends = list(self._ends)
+            batches = self._batches
+            busy = tuple(worker.busy_time for worker in self.workers)
+        count = len(latencies)
+        makespan = (max(ends) - min(arrivals)) if count else 0.0
+        wall = (
+            time.perf_counter() - self._wall_start
+            if self._wall_start is not None
+            else 0.0
+        )
+        return ServerMetrics(
+            requests=count,
+            batches=batches,
+            workers=len(self.workers),
+            sim_makespan_s=makespan,
+            requests_per_sec=(count / makespan) if makespan else 0.0,
+            p50_latency_s=float(np.percentile(latencies, 50)) if count else 0.0,
+            p99_latency_s=float(np.percentile(latencies, 99)) if count else 0.0,
+            worker_busy_s=busy,
+            wall_s=wall,
+        )
+
+
+def _set_result(future: "asyncio.Future", value: Any) -> None:
+    if not future.done():
+        future.set_result(value)
+
+
+def _set_exception(future: "asyncio.Future", error: BaseException) -> None:
+    if not future.done():
+        future.set_exception(error)
+
+
+class CompiledWorkload:
+    """Serve one traced tensor function across the pool's devices.
+
+    Wraps a plain ``fn(*tensors) -> tensor`` into the server's
+    ``workload(device, payload)`` shape: numpy payload arrays become
+    device tensors, the call goes through a per-device
+    :class:`~repro.pim.compile.CompiledFunction` (so every worker builds
+    its signature cache once and replays afterwards), and the result
+    returns as numpy. The per-device compiled handles live here, keyed
+    by device identity.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        opt_level: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        self.fn = fn
+        self.opt_level = opt_level
+        self.name = name or getattr(fn, "__name__", "workload")
+        self._compiled: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+
+    def _compiled_for(self, device: PIMDevice):
+        from repro.pim.compile import CompiledFunction
+
+        with self._lock:
+            handle = self._compiled.get(id(device))
+            if handle is None:
+                handle = CompiledFunction(
+                    self.fn,
+                    device=device,
+                    opt_level=self.opt_level,
+                    name=self.name,
+                )
+                self._compiled[id(device)] = handle
+            return handle
+
+    def signature(self, payload) -> Tuple:
+        arrays = payload if isinstance(payload, (tuple, list)) else (payload,)
+        return tuple(
+            (a.shape, str(a.dtype)) if isinstance(a, np.ndarray) else repr(a)
+            for a in arrays
+        )
+
+    def __call__(self, device: PIMDevice, payload) -> np.ndarray:
+        from repro.pim.functional import from_numpy, to_numpy
+
+        handle = self._compiled_for(device)
+        arrays = payload if isinstance(payload, (tuple, list)) else (payload,)
+        tensors = [from_numpy(array, device=device) for array in arrays]
+        out = handle(*tensors)
+        return to_numpy(out)
+
+
+def serve_workload(
+    workload: Callable,
+    payloads: Sequence[Any],
+    arrivals: Optional[Sequence[float]] = None,
+    **server_kwargs,
+) -> Tuple[List[Any], ServerMetrics]:
+    """Serve a payload list to completion and return (results, metrics).
+
+    The synchronous convenience wrapper tests, benchmarks, and the CLI
+    use: builds a :class:`Server`, submits every payload concurrently
+    (``arrivals[i]`` on the simulated clock, default all-at-once), and
+    tears the server down. Results keep submission order.
+    """
+    if arrivals is None:
+        arrivals = [0.0] * len(payloads)
+    if len(arrivals) != len(payloads):
+        raise ValueError("arrivals and payloads must have equal length")
+
+    async def _main():
+        server = Server(**server_kwargs)
+        await server.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(
+                    server.submit(workload, payload, arrival=arrival)
+                )
+                for payload, arrival in zip(payloads, arrivals)
+            ]
+            results = await asyncio.gather(*tasks)
+        finally:
+            await server.close()
+        return list(results), server.metrics()
+
+    return asyncio.run(_main())

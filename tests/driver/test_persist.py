@@ -1,0 +1,251 @@
+"""Tests for the cross-session persistent program cache.
+
+The durability contract of :mod:`repro.driver.persist` is "never crash,
+never replay stale": a warm-started session must skip gate building when
+the on-disk entry is valid, and must silently fall back to a cold
+compile — with bit-identical results — for *any* damaged cache state:
+
+- corrupt files (garbage bytes where JSON should be);
+- truncated files (a writer killed mid-entry without the atomic rename);
+- format-version skew (entries from an older repo revision);
+- config-fingerprint mismatch (entries compiled for another geometry);
+- key collisions (a file whose embedded key repr is not the probed key).
+
+On assertion failure the offending cache directory is dumped to
+``fuzz_artifacts/`` (override with ``REPRO_FUZZ_ARTIFACT_DIR``) so the
+bad entry can be inspected offline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.arch.config import small_config
+from repro.driver.driver import Driver
+from repro.driver.persist import (
+    FORMAT_VERSION,
+    PersistentProgramCache,
+    resolve_cache_dir,
+)
+from repro.isa.dtypes import int32
+from repro.isa.instructions import RInstr, ROp
+from repro.sim.simulator import Simulator
+
+
+CFG = small_config(crossbars=4, rows=8)
+
+
+def _artifact_dir() -> str:
+    return os.environ.get(
+        "REPRO_FUZZ_ARTIFACT_DIR",
+        os.path.join(os.path.dirname(__file__), "..", "..", "fuzz_artifacts"),
+    )
+
+
+@contextmanager
+def _artifacts_on_failure(cache_dir, label):
+    """Copy the cache directory into ``fuzz_artifacts/`` on failure."""
+    try:
+        yield
+    except BaseException:
+        directory = os.path.join(_artifact_dir(), f"persist_{label}")
+        shutil.rmtree(directory, ignore_errors=True)
+        os.makedirs(os.path.dirname(directory), exist_ok=True)
+        shutil.copytree(str(cache_dir), directory, dirs_exist_ok=True)
+        raise
+
+
+def fresh_cache(tmp_path, config=CFG):
+    return PersistentProgramCache(str(tmp_path), config)
+
+
+def compiled_program(config=CFG):
+    driver = Driver(Simulator(config))
+    return driver.compile(
+        [RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1),
+         RInstr(ROp.MUL, int32, dest=3, src_a=2, src_b=1)],
+        name="persist-test",
+    )
+
+
+KEY = ("body", "add-mul", 32)
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        program = compiled_program()
+        cache.store(KEY, program)
+        restored = cache.load(KEY)
+        assert restored is not None
+        assert restored.ops == program.ops
+        assert restored.name == program.name
+        assert restored.reads == program.reads
+        assert restored.macros == program.macros
+        assert restored.source_ops == program.source_ops
+        assert restored.config_fingerprint == program.config_fingerprint
+        assert cache.counters() == {
+            "loads": 1, "misses": 0, "invalid": 0, "stores": 1,
+        }
+
+    def test_cold_probe_counts_miss(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        assert cache.load(KEY) is None
+        assert cache.counters()["misses"] == 1
+
+    def test_entries_survive_a_new_cache_instance(self, tmp_path):
+        program = compiled_program()
+        fresh_cache(tmp_path).store(KEY, program)
+        # A second instance models a second process: same dir, no state.
+        warm = fresh_cache(tmp_path)
+        restored = warm.load(KEY)
+        assert restored is not None and restored.ops == program.ops
+        assert warm.counters()["loads"] == 1
+
+    def test_wrong_fingerprint_never_stored(self, tmp_path):
+        other = small_config(crossbars=8, rows=8)
+        program = Driver(Simulator(other)).compile(
+            [RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1)], name="p"
+        )
+        cache = fresh_cache(tmp_path)  # CFG cache, foreign program
+        cache.store(KEY, program)
+        assert cache.counters()["stores"] == 0
+        assert os.listdir(tmp_path) == []
+
+
+class TestInvalidation:
+    """Each damaged state must read as a cold miss and heal the cache."""
+
+    def _stored(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        cache.store(KEY, compiled_program())
+        [name] = os.listdir(tmp_path)
+        return cache, os.path.join(str(tmp_path), name)
+
+    def _assert_rejected(self, tmp_path, cache, path, label):
+        with _artifacts_on_failure(tmp_path, label):
+            assert cache.load(KEY) is None
+            assert cache.counters()["invalid"] == 1
+            assert not os.path.exists(path), "invalid entry must be deleted"
+            # The cache heals: a fresh store round-trips again.
+            cache.store(KEY, compiled_program())
+            assert cache.load(KEY) is not None
+
+    def test_corrupt_file(self, tmp_path):
+        cache, path = self._stored(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\xffnot json at all\x80")
+        self._assert_rejected(tmp_path, cache, path, "corrupt")
+
+    def test_truncated_file(self, tmp_path):
+        cache, path = self._stored(tmp_path)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+        self._assert_rejected(tmp_path, cache, path, "truncated")
+
+    def test_version_skew(self, tmp_path):
+        cache, path = self._stored(tmp_path)
+        entry = json.load(open(path))
+        entry["version"] = FORMAT_VERSION + 1
+        json.dump(entry, open(path, "w"))
+        self._assert_rejected(tmp_path, cache, path, "version_skew")
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        _, path = self._stored(tmp_path)
+        # A cache for a different geometry probing the same directory.
+        other = fresh_cache(tmp_path, small_config(crossbars=8, rows=8))
+        # Same key -> same filename; the embedded fingerprint differs.
+        assert other._path(KEY) == path
+        with _artifacts_on_failure(tmp_path, "fingerprint"):
+            assert other.load(KEY) is None
+            assert other.counters()["invalid"] == 1
+
+    def test_key_collision(self, tmp_path):
+        cache, path = self._stored(tmp_path)
+        other_key = ("body", "something-else", 32)
+        os.replace(path, cache._path(other_key))
+        with _artifacts_on_failure(tmp_path, "collision"):
+            # The embedded key repr does not match the probed key.
+            assert cache.load(other_key) is None
+            assert cache.counters()["invalid"] == 1
+
+    def test_missing_ops_field(self, tmp_path):
+        cache, path = self._stored(tmp_path)
+        entry = json.load(open(path))
+        del entry["ops"]
+        json.dump(entry, open(path, "w"))
+        self._assert_rejected(tmp_path, cache, path, "missing_field")
+
+
+def _run_workload(device):
+    a = np.arange(-16, 16, dtype=np.int32)
+    b = np.arange(1, 33, dtype=np.int32)
+    x = pim.from_numpy(a, device=device)
+    y = pim.from_numpy(b, device=device)
+    return pim.to_numpy(x * y + x)
+
+
+class TestSessionWarmStart:
+    """End-to-end: ``pim.init(cache_dir=...)`` across sessions."""
+
+    GOLDEN = (np.arange(-16, 16, dtype=np.int64)
+              * np.arange(1, 33, dtype=np.int64)
+              + np.arange(-16, 16, dtype=np.int64)).astype(np.int32)
+
+    def _session(self, cache_dir):
+        device = pim.init(crossbars=4, rows=8, backend="simulator",
+                          cache_dir=str(cache_dir))
+        try:
+            result = _run_workload(device)
+            return result, device.backend.persist_counters()
+        finally:
+            pim.reset()
+
+    def test_cold_then_warm(self, tmp_path):
+        cold_result, cold = self._session(tmp_path)
+        np.testing.assert_array_equal(cold_result, self.GOLDEN)
+        assert cold["stores"] > 0 and cold["loads"] == 0
+        warm_result, warm = self._session(tmp_path)
+        np.testing.assert_array_equal(warm_result, cold_result)
+        assert warm["loads"] > 0, "warm session must restore from disk"
+        assert warm["stores"] == 0, "warm session has nothing new to store"
+
+    def test_damaged_cache_falls_back_cold(self, tmp_path):
+        _, cold = self._session(tmp_path)
+        assert cold["stores"] > 0
+        for name in os.listdir(tmp_path):
+            with open(os.path.join(str(tmp_path), name), "wb") as handle:
+                handle.write(b"\x00garbage\xff")
+        with _artifacts_on_failure(tmp_path, "session_damaged"):
+            result, counters = self._session(tmp_path)
+            np.testing.assert_array_equal(result, self.GOLDEN)
+            assert counters["invalid"] > 0
+            assert counters["loads"] == 0
+
+    def test_version_skew_falls_back_cold(self, tmp_path):
+        _, cold = self._session(tmp_path)
+        assert cold["stores"] > 0
+        for name in os.listdir(tmp_path):
+            path = os.path.join(str(tmp_path), name)
+            entry = json.load(open(path))
+            entry["version"] = FORMAT_VERSION + 1
+            json.dump(entry, open(path, "w"))
+        with _artifacts_on_failure(tmp_path, "session_skew"):
+            result, counters = self._session(tmp_path)
+            np.testing.assert_array_equal(result, self.GOLDEN)
+            assert counters["invalid"] > 0
+
+    def test_env_var_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache_dir() == str(tmp_path)
+        assert resolve_cache_dir("/explicit/wins") == "/explicit/wins"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert resolve_cache_dir() is None

@@ -476,6 +476,7 @@ def _run_case(seed: int):
     assert eager_cycles["simulator"] == eager_cycles["numpy"], f"seed={seed}"
 
     _check_stream_lowering(seed, program, int_inputs, float_inputs)
+    _check_pooled(seed, program, int_inputs, float_inputs, mirror)
 
     # Compiled at every opt_level on both backends — the simulator
     # backend additionally under both replay engines ---------------------
@@ -591,6 +592,60 @@ def _check_stream_lowering(seed, program, int_inputs, float_inputs):
         assert state["stream"][2] == state["macro"][2], context
         assert np.array_equal(state["stream"][0], state["macro"][0]), context
         assert state["stream"][1] == state["macro"][1], context
+
+
+def _check_pooled(seed, program, int_inputs, float_inputs, mirror):
+    """Pooled-backend leg: inter-crossbar sharding must be invisible.
+
+    The same case runs on ``backend="pooled"`` (two simulator workers,
+    two crossbars each) and on the single simulator device, eagerly and
+    under ``pim.compile`` at O0 — final memory images, ``SimStats``, and
+    every checked output must be bit-identical. The pool's canonical
+    accounting makes the stats comparison exact, not approximate.
+    """
+    pooled_kwargs = {"workers": 2, "worker_backend": "simulator"}
+    eager_state = {}
+    for backend, kwargs in (("simulator", {}), ("pooled", pooled_kwargs)):
+        device = pim.init(
+            crossbars=CROSSBARS, rows=ROWS, backend=backend, **kwargs
+        )
+        tensors = _fresh_inputs(int_inputs, float_inputs)
+        outputs, scalar = program(*tensors)
+        _check_outputs(outputs, scalar, tensors, mirror,
+                       f"seed={seed} pooled-leg eager {backend}")
+        eager_state[backend] = (
+            device.backend.words.copy(), device.backend.stats.copy()
+        )
+        pim.reset()
+    context = f"seed={seed} pooled-vs-single eager"
+    assert np.array_equal(eager_state["pooled"][0],
+                          eager_state["simulator"][0]), context
+    assert eager_state["pooled"][1] == eager_state["simulator"][1], context
+
+    replay_state = {}
+    for backend, kwargs in (("simulator", {}), ("pooled", pooled_kwargs)):
+        device = pim.init(
+            crossbars=CROSSBARS, rows=ROWS, backend=backend, **kwargs
+        )
+        tensors = _fresh_inputs(int_inputs, float_inputs)
+        func = pim.compile(
+            lambda *args: program(*args), opt_level=0, cache_size=2
+        )
+        context = f"seed={seed} pooled-leg {backend} O0"
+        outputs, scalar = func(*tensors)
+        _check_outputs(outputs, scalar, tensors, mirror, context + " capture")
+        _reload(tensors, int_inputs, float_inputs)
+        before = device.stats_snapshot()
+        outputs, scalar = func(*tensors)
+        delta = device.backend.stats.diff(before)
+        _check_outputs(outputs, scalar, tensors, mirror, context + " replay")
+        assert func.captures == 1, context
+        replay_state[backend] = (device.backend.words.copy(), delta)
+        pim.reset()
+    context = f"seed={seed} pooled-vs-single O0 replay"
+    assert np.array_equal(replay_state["pooled"][0],
+                          replay_state["simulator"][0]), context
+    assert replay_state["pooled"][1] == replay_state["simulator"][1], context
 
 
 def _dump_artifact(seed: int, error: BaseException) -> None:

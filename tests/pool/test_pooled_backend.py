@@ -1,0 +1,239 @@
+"""Tests for the multi-crossbar device pool (:mod:`repro.pool`).
+
+The pool's contract: executing through ``PooledBackend`` is
+*indistinguishable* from a single device over the full geometry —
+bit-identical memory images (including the scratch residue of move
+lowering), identical cycle accounting, identical read results — while
+the work is physically sharded across N worker backends that each own a
+contiguous crossbar range of one shared word image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_config
+from repro.arch.masks import RangeMask
+from repro.backend import make_backend
+from repro.backend.simulator import SimulatorBackend
+from repro.isa.dtypes import int32
+from repro.isa.instructions import (
+    MoveInstr,
+    ReadInstr,
+    RInstr,
+    ROp,
+    WriteInstr,
+)
+from repro.pool import PooledBackend
+from repro.pool.backend import shard_mask
+
+
+CFG = small_config(crossbars=8, rows=8)
+
+
+class TestShardMask:
+    def test_window_inside(self):
+        mask = RangeMask(2, 5, 1)
+        assert shard_mask(mask, 0, 7) == RangeMask(2, 5, 1)
+
+    def test_rebase_to_local(self):
+        mask = RangeMask(4, 7, 1)
+        assert shard_mask(mask, 4, 7) == RangeMask(0, 3, 1)
+
+    def test_split_across_shards(self):
+        mask = RangeMask(2, 6, 1)
+        assert shard_mask(mask, 0, 3) == RangeMask(2, 3, 1)
+        assert shard_mask(mask, 4, 7) == RangeMask(0, 2, 1)
+
+    def test_empty_window(self):
+        assert shard_mask(RangeMask(0, 2, 1), 4, 7) is None
+        assert shard_mask(RangeMask(5, 7, 1), 0, 3) is None
+
+    def test_strided_alignment(self):
+        # Stride 4 from 1: hits 1 and 5 -> one element per 4-wide shard.
+        mask = RangeMask(1, 5, 4)
+        assert shard_mask(mask, 0, 3) == RangeMask(1, 1, 4)
+        assert shard_mask(mask, 4, 7) == RangeMask(1, 1, 4)
+
+    def test_strided_missing_a_shard(self):
+        # Stride 4 from 2: hits 2 and 6; window [3..5] catches neither...
+        assert shard_mask(RangeMask(2, 2, 4), 4, 7) is None
+        # ...but the owning windows rebase correctly.
+        assert shard_mask(RangeMask(2, 6, 4), 4, 7) == RangeMask(2, 2, 4)
+
+
+class TestConstruction:
+    def test_worker_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            PooledBackend(CFG, workers=3)
+
+    def test_worker_count_bounded_by_crossbars(self):
+        with pytest.raises(ValueError, match="cannot shard"):
+            PooledBackend(CFG, workers=16)
+
+    def test_unknown_worker_backend(self):
+        with pytest.raises(ValueError, match="unknown worker backend"):
+            PooledBackend(CFG, workers=2, worker_backend="quantum")
+
+    def test_make_backend_resolves_pooled(self):
+        backend = make_backend("pooled", CFG, workers=2)
+        assert isinstance(backend, PooledBackend)
+        assert len(backend.workers) == 2
+        assert backend.shard == 4
+
+    def test_shared_word_image_views(self):
+        pool = PooledBackend(CFG, workers=4)
+        assert pool.words.shape == (8, CFG.registers, CFG.rows)
+        for k in range(4):
+            view = pool._worker_words(k)
+            assert view.base is pool.words or view.base is pool.words.base
+            assert view.shape[0] == 2
+
+
+def _program():
+    """A stream exercising every routing class the pool distinguishes."""
+    instrs = []
+    for index in range(8 * 8):
+        warp, thread = divmod(index, 8)
+        instrs.append(WriteInstr(0, (index * 2654435761) & 0xFFFFFFFF,
+                                 RangeMask.single(warp),
+                                 RangeMask.single(thread)))
+        instrs.append(WriteInstr(1, (index * 40503) & 0xFFFF,
+                                 RangeMask.single(warp),
+                                 RangeMask.single(thread)))
+    # Shard-local compute on every warp, then a masked subset.
+    instrs.append(RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1))
+    instrs.append(RInstr(ROp.MUL, int32, dest=3, src_a=2, src_b=1,
+                         warp_mask=RangeMask(1, 7, 2)))
+    # Intra-warp move (stays inside one shard).
+    instrs.append(MoveInstr(src_reg=2, dst_reg=4, src_thread=1, dst_thread=6,
+                            warp_mask=RangeMask(0, 3, 1)))
+    # Inter-warp move crossing the 2-worker shard boundary (a bridge).
+    instrs.append(MoveInstr(src_reg=2, dst_reg=5, src_thread=2, dst_thread=2,
+                            warp_mask=RangeMask(0, 3, 1), warp_dist=4))
+    instrs.append(RInstr(ROp.SUB, int32, dest=6, src_a=5, src_b=1,
+                         warp_mask=RangeMask(4, 7, 1)))
+    return instrs
+
+
+def _run(backend, instrs):
+    reads = []
+    for instr in instrs:
+        backend.execute(instr)
+    for warp in (0, 3, 4, 7):
+        for reg in (2, 3, 4, 5, 6):
+            reads.append(backend.execute(ReadInstr(warp, 5, reg)))
+    return reads
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_eager_parity_with_single_device(workers):
+    single = SimulatorBackend(CFG)
+    pool = PooledBackend(CFG, workers=workers)
+    instrs = _program()
+    assert _run(single, instrs) == _run(pool, instrs)
+    assert np.array_equal(pool.words, single.words)
+    assert pool.stats.cycles == single.stats.cycles
+    assert pool.stats.op_counts == single.stats.op_counts
+
+
+def test_bridge_reproduces_move_staging_residue():
+    """Regression: the bridge must leave the *exact* memory image of the
+    single device's inter-warp move lowering, including the staging
+    registers on the destination warps (caught by fuzz seed 65537)."""
+    single = SimulatorBackend(CFG)
+    pool = PooledBackend(CFG, workers=2)
+    instrs = [
+        WriteInstr(0, 0xDEADBEEF, RangeMask.single(1), RangeMask.single(3)),
+        MoveInstr(src_reg=0, dst_reg=2, src_thread=3, dst_thread=5,
+                  warp_mask=RangeMask.single(1), warp_dist=4),
+    ]
+    for instr in instrs:
+        single.execute(instr)
+        pool.execute(instr)
+    assert np.array_equal(pool.words, single.words)
+
+
+def test_numpy_workers_match_simulator_results():
+    """Functional workers: same reads and same accounting (the memory
+    image legitimately differs — the numpy model skips scratch)."""
+    single = SimulatorBackend(CFG)
+    pool = PooledBackend(CFG, workers=4, worker_backend="numpy")
+    instrs = _program()
+    assert _run(single, instrs) == _run(pool, instrs)
+    assert pool.stats.cycles == single.stats.cycles
+    assert pool.stats.op_counts == single.stats.op_counts
+
+
+class TestCompiledPath:
+    def test_compile_replay_parity(self):
+        single = SimulatorBackend(CFG)
+        pool = PooledBackend(CFG, workers=2)
+        instrs = _program() + [ReadInstr(5, 2, 5)]
+
+        reference = single.compile(instrs, name="parity")
+        pooled = pool.compile(instrs, name="parity")
+        single_reads = [single.run_program(reference) for _ in range(3)]
+        pooled_reads = [pool.run_program(pooled) for _ in range(3)]
+        assert pooled_reads == single_reads
+        assert np.array_equal(pool.words, single.words)
+        assert pool.stats.cycles == single.stats.cycles
+
+    def test_replay_counts_hits(self):
+        pool = PooledBackend(CFG, workers=2)
+        program = pool.compile(_program(), name="hits")
+        before = pool.cache_hits
+        pool.run_program(program)
+        pool.run_program(program)
+        assert pool.cache_hits == before + 2
+
+    def test_response_site_returns_last_read(self):
+        pool = PooledBackend(CFG, workers=4)
+        instrs = [
+            WriteInstr(0, 1234, RangeMask.single(6), RangeMask.single(1)),
+            ReadInstr(0, 0, 0),   # an earlier read, different worker
+            ReadInstr(6, 1, 0),   # the response: globally last read
+        ]
+        program = pool.compile(instrs, name="resp")
+        assert pool.run_program(program) == 1234
+
+    def test_stream_parity_and_caching(self):
+        single = SimulatorBackend(CFG)
+        pool = PooledBackend(CFG, workers=2)
+        instrs = _program() + [ReadInstr(5, 2, 5)]
+        assert pool.run_stream(instrs, name="s") == \
+            single.run_stream(instrs, name="s")
+        assert np.array_equal(pool.words, single.words)
+        assert pool.stats.cycles == single.stats.cycles
+        first = dict(pool.emit_counters())
+        pool.run_stream(instrs, name="s")
+        assert pool.emit_counters()["stream"] == first["stream"] + 1
+
+
+class TestCounters:
+    def test_worker_stats_partition_the_work(self):
+        pool = PooledBackend(CFG, workers=2)
+        for instr in _program():
+            pool.execute(instr)
+        per_worker = pool.worker_stats()
+        assert len(per_worker) == 2
+        # Both shards did real work (the program touches every warp).
+        assert all(stats.cycles > 0 for stats in per_worker)
+
+    def test_persist_counters_empty_without_cache_dir(self):
+        pool = PooledBackend(CFG, workers=2)
+        assert pool.persist_counters() == {}
+
+    def test_persist_counters_merge_across_workers(self, tmp_path):
+        pool = PooledBackend(CFG, workers=2, cache_dir=str(tmp_path))
+        pool.compile(_program(), name="persisted")
+        counters = pool.persist_counters()
+        assert counters.get("stores", 0) > 0
+
+    def test_cache_evictions_surface(self):
+        pool = PooledBackend(CFG, workers=2, cache_size=1)
+        pool.execute(RInstr(ROp.ADD, int32, dest=2, src_a=0, src_b=1))
+        pool.execute(RInstr(ROp.MUL, int32, dest=3, src_a=0, src_b=1))
+        pool.execute(RInstr(ROp.SUB, int32, dest=4, src_a=0, src_b=1))
+        assert pool.cache_evictions > 0

@@ -165,6 +165,90 @@ def test_warm_start_skips_gate_build(tmp_path):
 
 
 
+def test_chaos_serving_resilience():
+    """Chaos leg: injected faults + stalls, p99 bounded, zero lost.
+
+    A rotating-seed :class:`~repro.faults.plan.FaultPlan` fails ~1/7 of
+    requests on their first attempt and stalls ~1/11 of them, under a
+    per-request deadline with retries. The gates: every request resolves
+    (a result or ``DeadlineExceeded`` — never a hang, never a lost
+    future), every delivered result is bit-exact, and p99 latency stays
+    bounded by the deadline (timeouts are accounted *at* the budget, so
+    the deadline is a hard ceiling on the latency distribution).
+    Reproduce a CI failure locally with ``REPRO_FAULT_SEED=<seed>``.
+    """
+    from repro.faults import FaultPlan, resolve_fault_seed
+    from repro.serve import DeadlineExceeded
+
+    seed = resolve_fault_seed(17)
+    deadline = 0.05
+    payloads = _payloads(REQUESTS, SERVE_CONFIG.total_rows,
+                         seed=seed % 9973 + 1)
+    golden = [np.int32(a.astype(np.int64) * b + a) for a, b in payloads]
+    arrivals = [index * 2e-6 for index in range(REQUESTS)]
+    plan = FaultPlan(
+        SERVE_CONFIG, seed=seed,
+        fail_every=7, serve_fail_attempts=1,   # ~1/7 fail once, then heal
+        stall_every=11, stall_s=5e-5,          # ~1/11 are slow requests
+    )
+    results, metrics = serve_workload(
+        CompiledWorkload(_model), payloads, arrivals=arrivals,
+        deadline=deadline, retries=3, return_exceptions=True,
+        workers=4, config=SERVE_CONFIG, backend="numpy", fault_plan=plan,
+    )
+
+    try:
+        assert len(results) == REQUESTS
+        delivered = timed_out = 0
+        for result, expected in zip(results, golden):
+            if isinstance(result, BaseException):
+                assert isinstance(result, DeadlineExceeded), (
+                    f"unexpected failure under chaos: {result!r}"
+                )
+                timed_out += 1
+            else:
+                np.testing.assert_array_equal(result, expected)
+                delivered += 1
+        assert delivered + timed_out == REQUESTS, "zero requests lost"
+        assert delivered > 0, "chaos must not starve the whole run"
+        assert metrics.retries >= 1, "the plan must actually inject faults"
+        assert metrics.timeouts == timed_out
+        assert metrics.p99_latency_s <= deadline * (1 + 1e-9), (
+            f"p99 {metrics.p99_latency_s:.6f}s beyond the {deadline}s budget"
+        )
+    except BaseException:
+        # Dump the chaos context so CI uploads it and the failure
+        # replays locally with REPRO_FAULT_SEED=<seed>.
+        artifact_dir = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR",
+                                      "fuzz_artifacts")
+        os.makedirs(artifact_dir, exist_ok=True)
+        with open(os.path.join(artifact_dir, "chaos_serving.json"),
+                  "w") as handle:
+            json.dump({
+                "seed": seed,
+                "requests": REQUESTS,
+                "deadline_s": deadline,
+                "metrics": metrics.as_dict(),
+                "failures": [repr(r) for r in results
+                             if isinstance(r, BaseException)],
+            }, handle, indent=2)
+        raise
+
+    _LINES.append(
+        f"chaos (seed {seed}): {delivered} delivered, {timed_out} timed "
+        f"out, {metrics.retries} retries, {metrics.failovers} failovers, "
+        f"p99 {metrics.p99_latency_s * 1e3:6.2f} ms <= {deadline * 1e3:.0f} ms"
+    )
+    _JSON.update(
+        chaos_seed=seed,
+        chaos_delivered=delivered,
+        chaos_timeouts=timed_out,
+        chaos_retries=metrics.retries,
+        chaos_failovers=metrics.failovers,
+        chaos_p99_latency_s=metrics.p99_latency_s,
+    )
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _write_results():
     yield

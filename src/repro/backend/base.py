@@ -65,8 +65,15 @@ class Backend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def run_program(self, program) -> Optional[int]:
-        """Replay a program from :meth:`compile`; returns the last read."""
+    def run_program(self, program, verify: Optional[str] = None) -> Optional[int]:
+        """Replay a program from :meth:`compile`; returns the last read.
+
+        ``verify="checksum"`` additionally checksums the program's
+        output regions across the post-replay fault window and raises
+        :class:`repro.faults.ChecksumError` on corruption (see
+        :mod:`repro.faults.checksum`). Verification is host-side and
+        free of cycle/memory side effects.
+        """
 
     def run_stream(
         self, instructions: Sequence[Instruction], name: str = "stream"
@@ -158,6 +165,30 @@ class Backend(abc.ABC):
         emissions, ``"macro"`` counts per-macro fallbacks.
         ``pim.Profiler`` snapshots this; backends without a stream
         compiler report nothing.
+        """
+        return {}
+
+    def install_faults(self, plan):
+        """Arm a :class:`repro.faults.FaultPlan` on this backend.
+
+        Returns the bound :class:`repro.faults.FaultOverlay` (or ``None``
+        for plans with only process-level faults). Backends without
+        fault support reject installation rather than silently running
+        fault-free.
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} backend does not support fault injection"
+        )
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Fault-injection and detection counters.
+
+        ``ticks``/``flips``/``stuck_clamps`` from the installed
+        :class:`~repro.faults.FaultOverlay`, plus detection/recovery
+        counters the backend layers on top (``verify_checks``,
+        ``verify_detected``, pool ``failovers``, ...). Empty when no
+        fault plan is installed; ``pim.Profiler`` snapshots this like
+        the replay/emit counters.
         """
         return {}
 

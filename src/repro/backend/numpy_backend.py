@@ -38,6 +38,7 @@ from repro.arch.micro_ops import MicroOp
 from repro.backend.base import Backend
 from repro.driver.driver import Driver
 from repro.driver.program import config_fingerprint
+from repro.faults.checksum import ChecksumError, region_checksums
 from repro.isa.instructions import (
     Instruction,
     MoveInstr,
@@ -125,6 +126,11 @@ class NumpyBackend(Backend):
         # tuple, mirroring the driver's StreamPlan cache (run_stream).
         self._stream_programs: Dict[Tuple, FunctionalProgram] = {}
         self._emit_counters: Dict[str, int] = {"stream": 0, "macro": 0}
+        # Installed fault overlay (None = fault-free), ticked once per
+        # dispatch unit exactly like the driver's — see repro.faults.
+        self._fault_overlay = None
+        self._verify_checks = 0
+        self._verify_detected = 0
 
     # ------------------------------------------------------------------
     # Backend interface
@@ -175,6 +181,8 @@ class NumpyBackend(Backend):
             self._hits += 1
         result = self._apply(instr)
         self._stats.merge(delta)
+        if self._fault_overlay is not None:
+            self._fault_overlay.tick()
         return result
 
     def _charge_rejected_move(self, instr: Instruction) -> None:
@@ -217,7 +225,9 @@ class NumpyBackend(Backend):
             ops.extend(self._driver._lower_ops(instr))
         return self._replay_stats(ops)
 
-    def run_program(self, program: FunctionalProgram) -> Optional[int]:
+    def run_program(
+        self, program: FunctionalProgram, verify: Optional[str] = None
+    ) -> Optional[int]:
         """Replay a compiled stream from its pre-resolved plan.
 
         On first sight of a program this builds a *replay plan* — one
@@ -225,7 +235,13 @@ class NumpyBackend(Backend):
         operation constants already resolved — exactly the strategy of
         the simulator's ``execute_program`` fast path. Replay then pays
         only the vectorized memory updates plus one batched stats merge.
+
+        ``verify="checksum"`` checksums the program's written regions
+        (derived from the macro instructions) across the post-replay
+        fault window, mirroring the driver's protocol.
         """
+        if verify is not None and verify != "checksum":
+            raise ValueError(f"unknown verify mode {verify!r}")
         if program.config_fingerprint != config_fingerprint(self.config):
             raise SimulationError(
                 f"program {program.name!r} was compiled for fingerprint "
@@ -244,7 +260,93 @@ class NumpyBackend(Backend):
                 if result is not None:
                     response = result
         self._stats.merge(program.stats_delta)
+        if verify is not None:
+            self._verify_replay(program)
+        elif self._fault_overlay is not None:
+            self._fault_overlay.tick()
         return response
+
+    def _verify_replay(self, program: FunctionalProgram) -> None:
+        """The driver's checksum protocol at macro-region granularity."""
+        regions = self._program_regions(program)
+        self._verify_checks += 1
+        before = region_checksums(self._words, regions)
+        if self._fault_overlay is not None:
+            self._fault_overlay.tick()
+        after = region_checksums(self._words, regions)
+        if after != before:
+            self._verify_detected += 1
+            bad = tuple(
+                region
+                for region, b, a in zip(regions, before, after)
+                if b != a
+            )
+            raise ChecksumError(program.name, bad)
+
+    def _program_regions(self, program: FunctionalProgram):
+        """Written regions of the macro stream, memoized on the program.
+
+        The functional model writes only the architectural destinations
+        (no scratch staging), so regions come straight from the macro
+        instructions rather than a micro-op walk.
+        """
+        cached = program.__dict__.get("_verify_regions")
+        if cached is not None:
+            return cached
+        cfg = self.config
+        seen = set()
+        regions = []
+
+        def add(reg, warp_mask, rows):
+            wm = warp_mask or RangeMask.all(cfg.crossbars)
+            region = (reg, (wm.start, wm.stop, wm.step), rows)
+            if region not in seen:
+                seen.add(region)
+                regions.append(region)
+
+        def row_range(row_mask):
+            rm = row_mask or RangeMask.all(cfg.rows)
+            return (rm.start, rm.stop, rm.step)
+
+        for instr in program.instructions:
+            if isinstance(instr, RInstr):
+                add(instr.dest, instr.warp_mask, row_range(instr.row_mask))
+            elif isinstance(instr, WriteInstr):
+                add(instr.reg, instr.warp_mask, row_range(instr.row_mask))
+            elif isinstance(instr, MoveInstr):
+                wm = instr.warp_mask or RangeMask.all(cfg.crossbars)
+                shifted = (
+                    wm.start + instr.warp_dist,
+                    wm.stop + instr.warp_dist,
+                    wm.step,
+                )
+                add_region = (
+                    instr.dst_reg,
+                    shifted,
+                    (instr.dst_thread, instr.dst_thread, 1),
+                )
+                if add_region not in seen:
+                    seen.add(add_region)
+                    regions.append(add_region)
+        cached = tuple(regions)
+        program.__dict__["_verify_regions"] = cached
+        return cached
+
+    def install_faults(self, plan):
+        """Bind a fault plan's cell faults to the functional word image."""
+        overlay = plan.overlay_for(self._words, self.config)
+        self._fault_overlay = overlay
+        return overlay
+
+    def fault_counters(self) -> Dict[str, int]:
+        counters = {}
+        if self._fault_overlay is not None:
+            counters.update(self._fault_overlay.counters)
+        if self._verify_checks:
+            counters["verify_checks"] = self._verify_checks
+        if self._verify_detected:
+            counters["verify_detected"] = self._verify_detected
+        return counters
 
     def run_stream(
         self, instructions: Sequence[Instruction], name: str = "stream"

@@ -63,8 +63,8 @@ class SimulatorBackend(Backend):
     ):
         return self.driver.compile(list(instructions), name=name, optimize=optimize)
 
-    def run_program(self, program) -> Optional[int]:
-        return self.driver.run_program(program)
+    def run_program(self, program, verify: Optional[str] = None) -> Optional[int]:
+        return self.driver.run_program(program, verify=verify)
 
     def run_stream(
         self, instructions: Sequence[Instruction], name: str = "stream"
@@ -73,6 +73,29 @@ class SimulatorBackend(Backend):
 
     def emit_counters(self):
         return dict(self.driver.emit_counters)
+
+    def install_faults(self, plan):
+        """Bind a fault plan's cell faults to the simulator's memory.
+
+        The overlay is owned (and ticked) by the driver so that macro
+        dispatch, fused-stream emission, and both program-replay engines
+        open identical fault windows; the memory keeps a reference for
+        introspection (``memory.overlay``).
+        """
+        overlay = plan.overlay_for(self.simulator.memory.words, self.config)
+        self.driver.faults = overlay
+        self.simulator.memory.overlay = overlay
+        return overlay
+
+    def fault_counters(self):
+        counters = {}
+        if self.driver.faults is not None:
+            counters.update(self.driver.faults.counters)
+        if self.driver.verify_checks:
+            counters["verify_checks"] = self.driver.verify_checks
+        if self.driver.verify_detected:
+            counters["verify_detected"] = self.driver.verify_detected
+        return counters
 
     def program_stats(self, program) -> SimStats:
         """Static per-replay accounting of a fused ``MicroProgram``.

@@ -206,6 +206,15 @@ class Driver:
         #: :mod:`repro.driver.stream`): ``"stream"`` counts fused-plan
         #: emissions, ``"macro"`` counts per-macro fallbacks.
         self.emit_counters: Dict[str, int] = {"stream": 0, "macro": 0}
+        #: Installed :class:`repro.faults.FaultOverlay` (``None`` = no
+        #: faults). Ticked once per dispatch unit — after each macro
+        #: ``execute``, fused-stream emission, or program replay — so
+        #: every replay engine observes identical fault behaviour.
+        self.faults = None
+        #: ``verify="checksum"`` accounting (replays checked / corrupted
+        #: replays caught), surfaced via ``Backend.fault_counters()``.
+        self.verify_checks = 0
+        self.verify_detected = 0
 
     @property
     def cache_hits(self) -> int:
@@ -231,9 +240,19 @@ class Driver:
         """
         if isinstance(instr, RInstr):
             if hasattr(self.chip, "execute_batch"):
-                return self._execute_rtype_batched(instr)
-            if self.cache_enabled and hasattr(self.chip, "execute_program"):
-                return self._execute_rtype_program(instr)
+                response = self._execute_rtype_batched(instr)
+            elif self.cache_enabled and hasattr(self.chip, "execute_program"):
+                response = self._execute_rtype_program(instr)
+            else:
+                response = self._execute_lowered(instr)
+        else:
+            response = self._execute_lowered(instr)
+        if self.faults is not None:
+            self.faults.tick()
+        return response
+
+    def _execute_lowered(self, instr: Instruction) -> Optional[int]:
+        """The uncached path: lower and forward op-by-op."""
         ops = self.lower(instr)
         response: Optional[int] = None
         for op in ops:
@@ -455,11 +474,15 @@ class Driver:
                 self.macro_count += plan.macros
                 self.micro_count += len(plan.program)
                 if plan.route == "program":
-                    return self.chip.execute_program(plan.program)
-                self.chip.execute_batch(
-                    plan.program.encoded(self.config.word_size)
-                )
-                return None
+                    response = self.chip.execute_program(plan.program)
+                else:
+                    self.chip.execute_batch(
+                        plan.program.encoded(self.config.word_size)
+                    )
+                    response = None
+                if self.faults is not None:
+                    self.faults.tick()
+                return response
         self.emit_counters["macro"] += 1
         response: Optional[int] = None
         for instr in instrs:
@@ -468,7 +491,9 @@ class Driver:
                 response = result
         return response
 
-    def run_program(self, program: MicroProgram) -> Optional[int]:
+    def run_program(
+        self, program: MicroProgram, verify: Optional[str] = None
+    ) -> Optional[int]:
         """Replay a compiled program on the chip.
 
         Uses the chip's ``execute_program`` fast path when available,
@@ -476,20 +501,62 @@ class Driver:
         :class:`BufferSink`), falling back to op-by-op ``execute``.
         Returns the last read response (``None`` if the program contains
         no reads; batch sinks never respond).
+
+        ``verify="checksum"`` checksums the program's statically-derived
+        written regions across the post-replay fault window and raises
+        :class:`repro.faults.ChecksumError` when injected faults
+        corrupted any of them. The checksums are host-side reads of the
+        DMA-visible word image, so verification changes no cycle count
+        and no memory bit.
         """
+        if verify is not None and verify != "checksum":
+            raise ValueError(f"unknown verify mode {verify!r}")
         self.macro_count += program.macros
         self.micro_count += len(program)
         if hasattr(self.chip, "execute_program"):
-            return self.chip.execute_program(program)
-        if hasattr(self.chip, "execute_batch"):
+            response = self.chip.execute_program(program)
+        elif hasattr(self.chip, "execute_batch"):
             self.chip.execute_batch(program.encoded(self.config.word_size))
-            return None
-        response: Optional[int] = None
-        for op in program:
-            result = self.chip.execute(op)
-            if result is not None:
-                response = result
+            response = None
+        else:
+            response = None
+            for op in program:
+                result = self.chip.execute(op)
+                if result is not None:
+                    response = result
+        if verify is not None:
+            self._verify_replay(program)
+        elif self.faults is not None:
+            self.faults.tick()
         return response
+
+    def _verify_replay(self, program: MicroProgram) -> None:
+        """Checksum the written regions across the post-op fault window."""
+        from repro.faults.checksum import (
+            ChecksumError,
+            program_regions,
+            region_checksums,
+        )
+
+        memory = getattr(self.chip, "memory", None)
+        if memory is None:
+            raise ValueError(
+                "verify='checksum' requires a chip with a memory image"
+            )
+        regions = program_regions(program, self.config)
+        self.verify_checks += 1
+        before = region_checksums(memory.words, regions)
+        if self.faults is not None:
+            self.faults.tick()
+        after = region_checksums(memory.words, regions)
+        if after != before:
+            self.verify_detected += 1
+            bad = tuple(
+                region
+                for region, b, a in zip(regions, before, after)
+                if b != a
+            )
+            raise ChecksumError(program.name, bad)
 
     # ------------------------------------------------------------------
     # Masks

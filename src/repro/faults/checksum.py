@@ -1,0 +1,134 @@
+"""Per-region checksum verification of compiled-program outputs.
+
+``verify="checksum"`` on ``Driver.run_program`` / ``pim.compile`` turns
+every program replay into a self-checking transaction: after the replay
+finishes, the driver checksums the program's *written regions* (derived
+statically from the micro-op stream, below), opens the post-op fault
+window, then re-checksums and compares. A transient flip or stuck-at
+clamp that lands inside an output region between the two walks is
+reported as a :class:`ChecksumError` naming the corrupted regions, which
+the recovery layer (``pim.compile`` retry → allocator quarantine →
+recompile) consumes.
+
+Checksums are computed host-side over the DMA-visible word image — the
+read happens outside the PIM cycle model, exactly like the device's
+bulk ``dump_array`` path — so enabling verification changes no cycle
+count and no memory bit.
+
+This module deliberately imports nothing from the driver or simulator
+packages (only the micro-op dataclasses), so the driver can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import PIMConfig
+from repro.arch.micro_ops import (
+    CrossbarMaskOp,
+    LogicHOp,
+    LogicVOp,
+    MoveOp,
+    ReadOp,
+    RowMaskOp,
+    WriteOp,
+)
+
+#: A written region: ``(reg, (xb_start, xb_stop, xb_step), (row_start,
+#: row_stop, row_step))`` with *inclusive* stops (RangeMask semantics).
+Region = Tuple[int, Tuple[int, int, int], Tuple[int, int, int]]
+
+
+class ChecksumError(RuntimeError):
+    """A verified replay left corrupted bits in its output regions.
+
+    ``regions`` lists the mismatched :data:`Region` descriptors (or is
+    ``None`` when the check ran at whole-image granularity, as on the
+    pooled backend), so recovery can map the damage back to allocator
+    cells and quarantine them.
+    """
+
+    def __init__(self, name: str, regions: Optional[Sequence[Region]]):
+        self.program_name = name
+        self.regions = tuple(regions) if regions is not None else None
+        where = (
+            f"{len(self.regions)} region(s)" if self.regions is not None
+            else "the memory image"
+        )
+        super().__init__(
+            f"checksum mismatch replaying {name!r}: faults corrupted {where}"
+        )
+
+
+def written_regions(ops, config: PIMConfig) -> Tuple[Region, ...]:
+    """Statically derive the regions a micro-op stream writes.
+
+    Walks the stream tracking the crossbar/row mask state the way the
+    chip would; an op issued before any mask is charged conservatively
+    to the full range. The result over-approximates (a masked-out
+    partition still counts the whole word) but never misses a written
+    cell, which is the property detection needs.
+    """
+    full_xb = (0, config.crossbars - 1, 1)
+    full_row = (0, config.rows - 1, 1)
+    xb, row = full_xb, full_row
+    seen = set()
+    regions: List[Region] = []
+
+    def add(reg: int, xbr, rowr) -> None:
+        region = (reg, xbr, rowr)
+        if region not in seen:
+            seen.add(region)
+            regions.append(region)
+
+    for op in ops:
+        if isinstance(op, CrossbarMaskOp):
+            xb = (op.start, op.stop, op.step)
+        elif isinstance(op, RowMaskOp):
+            row = (op.start, op.stop, op.step)
+        elif isinstance(op, WriteOp):
+            add(op.index, xb, row)
+        elif isinstance(op, LogicHOp):
+            add(op.out, xb, row)
+        elif isinstance(op, LogicVOp):
+            add(op.index, xb, (op.out_row, op.out_row, 1))
+        elif isinstance(op, MoveOp):
+            start = max(0, xb[0] + op.dist)
+            stop = min(config.crossbars - 1, xb[1] + op.dist)
+            if stop >= start and (stop - start) % xb[2] == 0:
+                dst_xb = (start, stop, xb[2])
+            else:  # clipped asymmetrically: fall back to a dense span
+                dst_xb = (start, max(start, stop), 1)
+            add(op.dst_index, dst_xb, (op.dst_row, op.dst_row, 1))
+        elif isinstance(op, ReadOp):
+            pass
+    return tuple(regions)
+
+
+def program_regions(program, config: PIMConfig) -> Tuple[Region, ...]:
+    """:func:`written_regions` of a ``MicroProgram``, memoized on it."""
+    cached = program.__dict__.get("_verify_regions")
+    if cached is None:
+        cached = written_regions(program.ops, config)
+        program.__dict__["_verify_regions"] = cached
+    return cached
+
+
+def region_checksums(
+    words: np.ndarray, regions: Sequence[Region]
+) -> Tuple[int, ...]:
+    """CRC32 per region over the ``(xb, reg, row)`` word image."""
+    sums = []
+    for reg, (xs, xe, xstep), (rs, re_, rstep) in regions:
+        view = words[xs : xe + 1 : xstep, reg, rs : re_ + 1 : rstep]
+        sums.append(zlib.crc32(np.ascontiguousarray(view).tobytes()))
+    return tuple(sums)
+
+
+def image_checksum(words: np.ndarray) -> int:
+    """CRC32 of a whole word image (pool-level coarse verification)."""
+    return zlib.crc32(np.ascontiguousarray(words).tobytes())

@@ -238,7 +238,7 @@ class CompiledGraph:
         except Exception:  # interpreter teardown
             pass
 
-    def replay(self, args: Tuple[Any, ...]):
+    def replay(self, args: Tuple[Any, ...], verify: Optional[str] = None):
         device = self.device
         backend = device.backend
         # Marshal: new argument data lands in the captured input slots (a
@@ -265,7 +265,10 @@ class CompiledGraph:
         for bound, raw in pending:
             device.write_raw(bound.slot, raw)
         try:
-            backend.run_program(self.program)
+            if verify is None:
+                backend.run_program(self.program)
+            else:
+                backend.run_program(self.program, verify=verify)
             self.replays += 1
             if not self.reads:
                 return _resolve(self.outputs)
@@ -298,6 +301,7 @@ class CompiledFunction:
         opt_level: Optional[int] = None,
         name: Optional[str] = None,
         cache_size: int = 32,
+        verify: Optional[str] = None,
     ):
         from repro.pim.optimizer import resolve_opt_level
 
@@ -307,6 +311,13 @@ class CompiledFunction:
         self.optimize = self.opt_level >= 1
         self.name = name or getattr(fn, "__name__", "graph")
         self.cache_size = max(int(cache_size), 1)
+        if verify not in (None, "checksum"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        self.verify = verify
+        #: Recovery accounting: replays retried after a checksum
+        #: mismatch, and graphs recompiled around quarantined cells.
+        self.fault_retries = 0
+        self.fault_recompiles = 0
         self._device = device
         self._cache: "OrderedDict[Tuple, CompiledGraph]" = OrderedDict()
         self.captures = 0
@@ -380,9 +391,39 @@ class CompiledFunction:
             entry = self._cache.get(key)
             if entry is not None and entry.device is device and not device.closed:
                 self._cache.move_to_end(key)
-                return entry.replay(args)
+                if self.verify is None:
+                    return entry.replay(args)
+                return self._replay_verified(device, key, entry, args)
             if entry is not None:
                 entry.release()
+            entry, first = self._capture(device, args)
+            self._store(key, entry)
+            return first
+
+    def _replay_verified(self, device, key, entry, args):
+        """Checksum-verified replay with retry → quarantine → recompile.
+
+        A single mismatch is treated as a transient upset: the replay is
+        retried once (re-marshalling the arguments). A second mismatch
+        means persistent damage (stuck-at cells): the corrupted regions
+        are mapped to allocator cells and quarantined, the cached graph
+        is dropped, and the signature recaptures eagerly — its fresh
+        allocations planned around the bad cells.
+        """
+        from repro.faults.checksum import ChecksumError
+
+        try:
+            return entry.replay(args, verify=self.verify)
+        except ChecksumError:
+            self.fault_retries += 1
+        try:
+            return entry.replay(args, verify=self.verify)
+        except ChecksumError as error:
+            self.fault_recompiles += 1
+            if error.regions:
+                device.quarantine_regions(error.regions)
+            entry.release()
+            self._cache.pop(key, None)
             entry, first = self._capture(device, args)
             self._store(key, entry)
             return first
@@ -461,6 +502,7 @@ def compile(
     optimize: bool = False,
     opt_level: Optional[int] = None,
     cache_size: int = 32,
+    verify: Optional[str] = None,
 ):
     """Decorate a tensor function for capture-once / replay-many execution.
 
@@ -472,8 +514,13 @@ def compile(
     plus register reuse — see :mod:`repro.pim.optimizer`). Optimized
     replays stay bit-identical on every observable value. ``cache_size``
     bounds the per-function signature cache (LRU; evicted graphs release
-    their reserved device cells). See the module docstring for the
-    capture protocol, the cache key, and tracing limitations.
+    their reserved device cells). ``verify="checksum"`` makes every
+    replay self-checking: output regions are checksummed across the
+    post-replay fault window, a detected corruption retries once
+    (transient upsets), and a repeat offender quarantines the damaged
+    cells in the allocator and recompiles the graph around them (see
+    :mod:`repro.faults`). See the module docstring for the capture
+    protocol, the cache key, and tracing limitations.
     """
     if fn is None:
         return functools.partial(
@@ -482,6 +529,7 @@ def compile(
             optimize=optimize,
             opt_level=opt_level,
             cache_size=cache_size,
+            verify=verify,
         )
     return CompiledFunction(
         fn,
@@ -489,4 +537,5 @@ def compile(
         optimize=optimize,
         opt_level=opt_level,
         cache_size=cache_size,
+        verify=verify,
     )

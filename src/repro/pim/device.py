@@ -145,10 +145,44 @@ class PIMDevice:
         self._check_open()
         return self.backend.compile(instructions, name=name, optimize=optimize)
 
-    def run_program(self, program):
-        """Replay a compiled program on this chip's backend."""
+    def run_program(self, program, verify: Optional[str] = None):
+        """Replay a compiled program on this chip's backend.
+
+        ``verify="checksum"`` enables the driver's output-region
+        checksum protocol (see :mod:`repro.faults.checksum`).
+        """
         self._check_open()
-        return self.backend.run_program(program)
+        if verify is None:
+            return self.backend.run_program(program)
+        return self.backend.run_program(program, verify=verify)
+
+    def install_faults(self, plan):
+        """Arm a :class:`repro.faults.FaultPlan` on this device's backend."""
+        self._check_open()
+        return self.backend.install_faults(plan)
+
+    def quarantine_regions(self, regions) -> List[tuple]:
+        """Retire the allocator cells under corrupted checksum regions.
+
+        ``regions`` are :data:`repro.faults.checksum.Region` descriptors
+        from a :class:`~repro.faults.ChecksumError`. Damage inside a user
+        register quarantines the exact ``(reg, warp)`` cells; damage in
+        the driver's scratch registers retires the whole warp, since
+        every computation placed there shares those columns.
+        """
+        cells = []
+        warps = set()
+        user = self.config.user_registers
+        for reg, (xs, xe, xstep), _rows in regions:
+            for warp in range(xs, xe + 1, xstep):
+                if reg < user:
+                    cells.append((reg, warp))
+                else:
+                    warps.add(warp)
+        quarantined = self.allocator.quarantine(cells)
+        for warp in sorted(warps):
+            quarantined.extend(self.allocator.quarantine_warp(warp))
+        return quarantined
 
     def stats_snapshot(self) -> SimStats:
         """Copy of the backend's counters (for profiling diffs)."""
@@ -316,6 +350,22 @@ class PIMDevice:
 
 _default_device: Optional[PIMDevice] = None
 
+#: Objects that must be shut down before ``reset()`` may proceed (live
+#: ``repro.serve.Server`` instances register here on start). Weakly
+#: referenced: a collected guard never blocks a reset. A guard exposes
+#: ``reset_guard_active`` (bool) and ``reset_guard_reason`` (str).
+_reset_guards: "weakref.WeakSet" = None
+
+
+def register_reset_guard(guard) -> None:
+    """Register an object whose liveness blocks :func:`reset`."""
+    global _reset_guards
+    if _reset_guards is None:
+        import weakref
+
+        _reset_guards = weakref.WeakSet()
+    _reset_guards.add(guard)
+
 
 def init(
     config: Optional[PIMConfig] = None,
@@ -376,8 +426,24 @@ def reset() -> None:
     back-reference starts raising ``RuntimeError`` and their destructors
     become no-ops, so nothing can free into (or write through) a stale
     allocator.
+
+    Resetting under a live server would tear the device out from under
+    in-flight requests and leave their callers hanging, so an active
+    ``repro.serve.Server`` makes ``reset()`` fail cleanly instead.
     """
     global _default_device
+    if _reset_guards is not None:
+        active = [
+            getattr(guard, "reset_guard_reason", repr(guard))
+            for guard in _reset_guards
+            if getattr(guard, "reset_guard_active", False)
+        ]
+        if active:
+            raise RuntimeError(
+                "pim.reset() with active services: "
+                + "; ".join(sorted(active))
+                + ". Close them first."
+            )
     if _default_device is not None:
         _default_device.close()
     _default_device = None

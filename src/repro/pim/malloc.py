@@ -52,6 +52,10 @@ class Allocator:
             reg: set() for reg in range(config.user_registers)
         }
         self._live: Set[Slot] = set()
+        # Quarantined (reg, warp) cells: learned bad-cell map (stuck-at
+        # faults detected by checksum verification). Bad cells are kept
+        # permanently occupied so no future placement touches them.
+        self._bad: Set[tuple] = set()
         #: Optional free-observer with an ``untrack_slot(slot)`` method.
         #: A live :class:`~repro.pim.graph.TraceSession` installs itself
         #: here so mid-trace frees are visible to the graph optimizer
@@ -128,9 +132,46 @@ class Allocator:
             return
         self._live.discard(slot)
         for warp in range(slot.warp_start, slot.warp_stop):
-            self._occupied[slot.reg].discard(warp)
+            if (slot.reg, warp) not in self._bad:
+                self._occupied[slot.reg].discard(warp)
         if self.observer is not None:
             self.observer.untrack_slot(slot)
+
+    # ------------------------------------------------------------------
+    # Bad-cell quarantine (the learned fault map, Section: resilience)
+    # ------------------------------------------------------------------
+    def quarantine(self, cells) -> List[tuple]:
+        """Permanently retire ``(reg, warp)`` cells; returns newly-bad ones.
+
+        A quarantined cell is marked occupied and never released again —
+        not by :meth:`free`, not by :meth:`release_cells` — so every
+        subsequent placement plans around it. Cells outside the user
+        registers (scratch damage) are ignored here; quarantine the
+        whole warp with :meth:`quarantine_warp` instead, since scratch
+        columns are shared by every computation on that warp.
+        """
+        newly = []
+        for reg, warp in cells:
+            occupied = self._occupied.get(reg)
+            if occupied is None or (reg, warp) in self._bad:
+                continue
+            if not 0 <= warp < self.config.crossbars:
+                continue
+            self._bad.add((reg, warp))
+            occupied.add(warp)
+            newly.append((reg, warp))
+        return newly
+
+    def quarantine_warp(self, warp: int) -> List[tuple]:
+        """Retire every user-register cell of one warp (scratch damage)."""
+        return self.quarantine(
+            (reg, warp) for reg in range(self.config.user_registers)
+        )
+
+    @property
+    def bad_cells(self) -> Set[tuple]:
+        """The learned bad-cell map (copy; ``(reg, warp)`` pairs)."""
+        return set(self._bad)
 
     # ------------------------------------------------------------------
     # Cell-level reservation (the compiled-graph working set)
@@ -153,10 +194,14 @@ class Allocator:
         return claimed
 
     def release_cells(self, cells) -> None:
-        """Return cells claimed by :meth:`reserve_cells` to the free pool."""
+        """Return cells claimed by :meth:`reserve_cells` to the free pool.
+
+        Quarantined cells stay occupied: a graph whose working set
+        contained a since-retired cell must not hand it back.
+        """
         for reg, warp in cells:
             occupied = self._occupied.get(reg)
-            if occupied is not None:
+            if occupied is not None and (reg, warp) not in self._bad:
                 occupied.discard(warp)
 
     @property

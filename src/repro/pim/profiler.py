@@ -59,6 +59,13 @@ class Profiler:
         #: without a stream compiler.
         self.emit_counts: dict = {}
         self._emit_before: dict = {}
+        #: Fault-injection activity inside the block (``ticks``/
+        #: ``flips``/``stuck_clamps``/``verify_checks``/
+        #: ``verify_detected``/``worker_faults``/``failovers`` deltas;
+        #: empty when no :class:`~repro.faults.plan.FaultPlan` is
+        #: installed and no checksum verification ran).
+        self.fault_counts: dict = {}
+        self._fault_before: dict = {}
 
     @property
     def device(self) -> PIMDevice:
@@ -74,6 +81,7 @@ class Profiler:
         self._replay_before = self.device.backend.replay_counters()
         self._emit_before = self.device.backend.emit_counters()
         self._persist_before = self.device.backend.persist_counters()
+        self._fault_before = self.device.backend.fault_counters()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -106,6 +114,12 @@ class Profiler:
             for level, count in emits.items()
             if count - self._emit_before.get(level, 0)
         }
+        faults = self.device.backend.fault_counters()
+        self.fault_counts = {
+            kind: count - self._fault_before.get(kind, 0)
+            for kind, count in faults.items()
+            if count - self._fault_before.get(kind, 0)
+        }
         if self.echo and exc_type is None:
             print(self.stats.summary())
             print(
@@ -131,6 +145,12 @@ class Profiler:
                     for level, count in sorted(self.emit_counts.items())
                 )
                 print(f"  stream emissions  {detail}")
+            if self.fault_counts:
+                detail = " / ".join(
+                    f"{count} {kind}"
+                    for kind, count in sorted(self.fault_counts.items())
+                )
+                print(f"  fault injection  {detail}")
             for report in self.opt_reports:
                 print(f"  {report.summary()}")
 

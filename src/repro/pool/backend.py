@@ -58,6 +58,8 @@ from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.simulator import SimulatorBackend
 from repro.driver.driver import Driver
 from repro.driver.program import config_fingerprint
+from repro.faults.checksum import ChecksumError, image_checksum
+from repro.faults.plan import ShardError, WorkerFault
 from repro.isa.instructions import (
     Instruction,
     MoveInstr,
@@ -178,6 +180,10 @@ class PooledBackend(Backend):
             ) from None
         self.shard = config.crossbars // workers
         self._sub_config = replace(config, crossbars=self.shard)
+        # Kept so failover can spawn a replacement worker with the exact
+        # construction arguments of the one it retires.
+        self._worker_cls = worker_cls
+        self._worker_kwargs = dict(driver_kwargs)
         self.workers: List[Backend] = [
             worker_cls(self._sub_config, move_cost=move_cost, **driver_kwargs)
             for _ in range(workers)
@@ -202,6 +208,18 @@ class PooledBackend(Backend):
         self._misses = 0
         self._stream_programs: Dict[Tuple, PooledProgram] = {}
         self._emit_counters: Dict[str, int] = {"stream": 0, "macro": 0}
+        # Fault-injection / resilience state (repro.faults).
+        self._fault_plan = None
+        self._pool_overlay = None
+        self._resilient = False
+        self._unit_counts = [0] * workers
+        self._quarantined: List[Tuple[int, Backend]] = []
+        self._fault_counters: Dict[str, int] = {
+            "worker_faults": 0,
+            "failovers": 0,
+        }
+        self._verify_checks = 0
+        self._verify_detected = 0
 
     # ------------------------------------------------------------------
     # Worker memory plumbing
@@ -262,6 +280,41 @@ class PooledBackend(Backend):
                 merged[kind] = merged.get(kind, 0) + count
         return merged
 
+    def install_faults(self, plan) -> object:
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on the pool.
+
+        Cell faults become a single overlay over the *shared* word image
+        (ticked once per pool-level dispatch boundary, exactly like a
+        single device, so both engines and all shards see one fault
+        timeline). Worker-failure entries arm resilient mode: a failed
+        shard is quarantined and its work replayed bit-identically on a
+        fresh replacement worker.
+        """
+        overlay = plan.overlay_for(self._words, self.config)
+        self._fault_plan = plan
+        self._pool_overlay = overlay
+        self._resilient = bool(plan.worker_failures)
+        return overlay
+
+    def fault_counters(self) -> Dict[str, int]:
+        counters: Dict[str, int] = {}
+        if self._pool_overlay is not None:
+            counters.update(self._pool_overlay.counters)
+        for kind, count in self._fault_counters.items():
+            if count:
+                counters[kind] = count
+        if self._quarantined:
+            counters["quarantined_shards"] = len(self._quarantined)
+        if self._verify_checks:
+            counters["verify_checks"] = self._verify_checks
+            counters["verify_detected"] = self._verify_detected
+        return counters
+
+    @property
+    def quarantined_workers(self) -> List[Tuple[int, Backend]]:
+        """Retired ``(shard index, worker)`` pairs, in failure order."""
+        return list(self._quarantined)
+
     def execute(self, instr: Instruction) -> Optional[int]:
         validate(instr, self.config.registers)
         delta = self._instr_stats.get(instr)
@@ -279,6 +332,8 @@ class PooledBackend(Backend):
             self._hits += 1
         result = self._dispatch(instr)
         self._stats.merge(delta)
+        if self._pool_overlay is not None:
+            self._pool_overlay.tick()
         return result
 
     def compile(
@@ -303,7 +358,13 @@ class PooledBackend(Backend):
             response_site=response_site,
         )
 
-    def run_program(self, program: PooledProgram) -> Optional[int]:
+    def run_program(
+        self, program: PooledProgram, verify: Optional[str] = None
+    ) -> Optional[int]:
+        if verify not in (None, "checksum"):
+            raise ValueError(
+                f"unknown verify mode {verify!r}; expected 'checksum'"
+            )
         if program.config_fingerprint != config_fingerprint(self.config):
             raise SimulationError(
                 f"program {program.name!r} was compiled for fingerprint "
@@ -317,10 +378,26 @@ class PooledBackend(Backend):
                 self._bridge_move(segment.instr)
                 continue
             for k, sub in segment.programs:
-                result = self.workers[k].run_program(sub)
+                result = self._run_shard(
+                    k, lambda w, sub=sub: w.run_program(sub), program.name
+                )
                 if program.response_site == (index, k):
                     response = result
         self._stats.merge(program.stats_delta)
+        if verify is not None:
+            # Whole-image granularity: the pool's shards share one word
+            # image, so one CRC over it brackets the post-replay fault
+            # window (region-precise checksums live in the single-device
+            # drivers; the pool only needs corruption *detection*).
+            self._verify_checks += 1
+            before = image_checksum(self._words)
+            if self._pool_overlay is not None:
+                self._pool_overlay.tick()
+            if image_checksum(self._words) != before:
+                self._verify_detected += 1
+                raise ChecksumError(program.name, None)
+        elif self._pool_overlay is not None:
+            self._pool_overlay.tick()
         return response
 
     def run_stream(
@@ -368,15 +445,92 @@ class PooledBackend(Backend):
     def _dispatch(self, instr: Instruction) -> Optional[int]:
         if isinstance(instr, ReadInstr):
             k = instr.warp // self.shard
-            return self.workers[k].execute(
-                replace(instr, warp=instr.warp - k * self.shard)
+            local = replace(instr, warp=instr.warp - k * self.shard)
+            return self._run_shard(
+                k, lambda w, local=local: w.execute(local), instr
             )
         if isinstance(instr, MoveInstr) and instr.warp_dist:
             self._bridge_move(instr)
             return None
         for k, local in self._localize(instr):
-            self.workers[k].execute(local)
+            self._run_shard(k, lambda w, local=local: w.execute(local), instr)
         return None
+
+    # ------------------------------------------------------------------
+    # Shard fault handling: injection, quarantine, failover
+    # ------------------------------------------------------------------
+    def _run_shard(self, k: int, thunk, what) -> Optional[int]:
+        """Run one unit of shard work with crash containment.
+
+        Every worker call funnels through here. A worker exception (real
+        or injected) either surfaces as a :class:`ShardError` carrying
+        the shard id and program context, or — when a fault plan armed
+        resilient mode — triggers failover: quarantine the worker, spawn
+        a replacement on the same shard window, restore the shard's
+        pre-unit memory from the snapshot, and re-run the unit
+        bit-identically. Chip-model rejections (``SimulationError``) are
+        architectural results, not crashes, and propagate untouched.
+        """
+        unit = self._unit_counts[k]
+        self._unit_counts[k] = unit + 1
+        lo = k * self.shard
+        snapshot = None
+        if self._resilient:
+            snapshot = self._words[lo : lo + self.shard].copy()
+        try:
+            self._maybe_inject(k, unit, lo, snapshot is not None)
+            return thunk(self.workers[k])
+        except SimulationError:
+            raise
+        except Exception as exc:
+            if snapshot is not None:
+                return self._failover(k, snapshot, thunk, what, exc)
+            raise ShardError(
+                k, (lo, lo + self.shard - 1), self._context(what), exc
+            ) from exc
+
+    def _maybe_inject(
+        self, k: int, unit: int, lo: int, resilient: bool
+    ) -> None:
+        plan = self._fault_plan
+        if plan is None or not plan.worker_fails(k, unit):
+            return
+        self._fault_counters["worker_faults"] += 1
+        if resilient:
+            # A crashing worker may leave its shard image in any state;
+            # scribble seeded garbage so failover provably restores from
+            # the snapshot rather than getting lucky.
+            shard_view = self._words[lo : lo + self.shard]
+            rng = np.random.default_rng((plan.seed, k, unit))
+            limit = 1 << self.config.word_size
+            shard_view[...] = rng.integers(
+                0, limit, size=shard_view.shape, dtype=np.uint64
+            ).astype(shard_view.dtype)
+        raise WorkerFault(
+            f"injected fault in pool worker {k} (unit {unit})"
+        )
+
+    def _failover(self, k, snapshot, thunk, what, cause) -> Optional[int]:
+        lo = k * self.shard
+        self._quarantined.append((k, self.workers[k]))
+        self.workers[k] = self._worker_cls(
+            self._sub_config, move_cost=self.move_cost, **self._worker_kwargs
+        )
+        self._set_worker_words(k, self._words[lo : lo + self.shard])
+        self._words[lo : lo + self.shard] = snapshot
+        self._fault_counters["failovers"] += 1
+        try:
+            return thunk(self.workers[k])
+        except SimulationError:
+            raise
+        except Exception as exc:
+            raise ShardError(
+                k, (lo, lo + self.shard - 1), self._context(what), exc
+            ) from exc
+
+    @staticmethod
+    def _context(what) -> str:
+        return what if isinstance(what, str) else repr(what)
 
     def _localize(self, instr: Instruction):
         """Split a warp-masked instruction across the shards it touches."""

@@ -17,9 +17,18 @@ Quickstart (see also ``python -m repro.serve --workers 4``)::
 
 from repro.serve.server import (
     CompiledWorkload,
+    DeadlineExceeded,
     Server,
+    ServerClosed,
     ServerMetrics,
     serve_workload,
 )
 
-__all__ = ["CompiledWorkload", "Server", "ServerMetrics", "serve_workload"]
+__all__ = [
+    "CompiledWorkload",
+    "DeadlineExceeded",
+    "Server",
+    "ServerClosed",
+    "ServerMetrics",
+    "serve_workload",
+]

@@ -37,7 +37,21 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arch.config import PIMConfig
+from repro.faults.plan import WorkerFault
 from repro.pim.device import PIMDevice
+
+
+class ServerClosed(RuntimeError):
+    """The server was closed while (or before) the request could run.
+
+    Raised by ``submit`` on a closed server, and set on every future
+    still outstanding when :meth:`Server.close` tears the scheduler
+    down — callers never hang on an abandoned future.
+    """
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request missed its deadline on the simulated device clock."""
 
 
 def _signature_of(workload: Callable, payload: Any) -> Tuple:
@@ -69,6 +83,13 @@ class _Request:
     arrival: float
     key: Tuple
     future: "asyncio.Future"
+    seq: int = 0
+    #: Original submit-time arrival; retries move ``arrival`` forward
+    #: (backoff), but latency and the deadline stay anchored here.
+    submitted: float = 0.0
+    attempt: int = 0
+    retries: int = 0
+    deadline_at: Optional[float] = None
 
 
 @dataclass
@@ -96,6 +117,9 @@ class ServerMetrics:
     p99_latency_s: float = 0.0
     worker_busy_s: Tuple[float, ...] = ()
     wall_s: float = 0.0
+    timeouts: int = 0
+    retries: int = 0
+    failovers: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -108,6 +132,9 @@ class ServerMetrics:
             "p99_latency_s": self.p99_latency_s,
             "worker_busy_s": list(self.worker_busy_s),
             "wall_s": self.wall_s,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failovers": self.failovers,
         }
 
 
@@ -121,6 +148,14 @@ class Server:
             wants host speed; use ``"simulator"`` for bit-level audits or
             ``"pooled"`` to shard each replica further).
         batch_limit: maximum requests coalesced into one batch.
+        fault_plan: an optional :class:`~repro.faults.plan.FaultPlan`
+            whose serving-tier entries inject deterministic worker
+            failures (``serve_failures`` / ``fail_every``) and stalls
+            (``serve_stalls`` / ``stall_every``) keyed on request
+            sequence number and attempt.
+        retry_backoff_s: base of the exponential retry backoff —
+            attempt ``n``'s re-arrival is delayed ``retry_backoff_s *
+            2**(n-1)`` simulated seconds after the failed attempt.
         **backend_kwargs: forwarded to every worker's backend
             (``cache_dir=...`` warm-starts all workers from one
             persistent program cache, ``parallelism``, ...).
@@ -141,6 +176,8 @@ class Server:
         config: Optional[PIMConfig] = None,
         backend: str = "numpy",
         batch_limit: int = 32,
+        fault_plan=None,
+        retry_backoff_s: float = 1e-3,
         **backend_kwargs,
     ):
         if workers < 1:
@@ -166,10 +203,19 @@ class Server:
         self._batches = 0
         self._wall_start: Optional[float] = None
         self._closed = False
+        self._fault_plan = fault_plan
+        self.retry_backoff_s = float(retry_backoff_s)
+        self._seq = 0
+        self._outstanding: set = set()
+        self._timeouts = 0
+        self._retries = 0
+        self._failovers = 0
 
     # ------------------------------------------------------------------
     async def start(self) -> "Server":
         """Bind to the running event loop and start the scheduler."""
+        from repro.pim import device as device_mod
+
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue()
         self._free = asyncio.Queue()
@@ -177,10 +223,25 @@ class Server:
             self._free.put_nowait(worker)
         self._wall_start = time.perf_counter()
         self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        device_mod.register_reset_guard(self)
         return self
 
+    @property
+    def reset_guard_active(self) -> bool:
+        """True while started and not closed (blocks ``pim.reset()``)."""
+        return self._loop is not None and not self._closed
+
+    @property
+    def reset_guard_reason(self) -> str:
+        return f"serve.Server ({len(self.workers)} workers)"
+
     async def submit(
-        self, workload: Callable, payload: Any = None, arrival: float = 0.0
+        self,
+        workload: Callable,
+        payload: Any = None,
+        arrival: float = 0.0,
+        deadline: Optional[float] = None,
+        retries: int = 0,
     ) -> Any:
         """Queue one request and await its result.
 
@@ -188,24 +249,46 @@ class Server:
         ``arrival`` is the request's simulated arrival time (seconds on
         the device clock — schedulers and benchmarks supply it, sessions
         submitting "now" can leave 0.0).
+
+        ``deadline`` is a per-request budget in simulated seconds,
+        measured from ``arrival``: a request that cannot finish inside
+        it fails with :class:`DeadlineExceeded` (never retried — the
+        budget is the contract). ``retries`` is the number of times a
+        :class:`~repro.faults.plan.WorkerFault` re-queues the request
+        with exponential backoff before the fault is delivered.
         """
         if self._loop is None:
             raise RuntimeError("Server.start() has not been awaited")
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise ServerClosed("server is closed")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         future = self._loop.create_future()
+        arrival = float(arrival)
+        self._seq += 1
         request = _Request(
             workload,
             payload,
-            float(arrival),
+            arrival,
             _signature_of(workload, payload),
             future,
+            seq=self._seq,
+            submitted=arrival,
+            retries=max(int(retries), 0),
+            deadline_at=None if deadline is None else arrival + deadline,
         )
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
         await self._queue.put(request)
         return await future
 
     async def close(self) -> None:
-        """Drain in-flight work and stop the scheduler."""
+        """Drain in-flight work, stop the scheduler, fail the stranded.
+
+        Batches already dispatched run to completion; requests still
+        queued (including retries in their backoff window) get
+        :class:`ServerClosed` set on their futures so no caller hangs.
+        """
         if self._closed:
             return
         self._closed = True
@@ -218,6 +301,8 @@ class Server:
         if self._dispatch_tasks:
             await asyncio.gather(*self._dispatch_tasks, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        for future in list(self._outstanding):
+            _set_exception(future, ServerClosed("server closed with request outstanding"))
 
     # ------------------------------------------------------------------
     async def _scheduler(self) -> None:
@@ -269,27 +354,68 @@ class Server:
         from arrival to completion on that clock.
         """
         device = worker.device
+        plan = self._fault_plan
         with self._sim_lock:
             self._batches += 1
             worker.batches += 1
         for request in batch:
+            # Deadline fail-fast: if the worker's clock already puts the
+            # start past the budget, don't burn device cycles at all.
+            if request.deadline_at is not None:
+                with self._sim_lock:
+                    start = max(request.arrival, worker.busy_until)
+                if start >= request.deadline_at:
+                    self._finish_timeout(worker, request)
+                    continue
+            stall_s = 0.0
+            if plan is not None:
+                # Injected DMA/compile stall: simulated seconds added to
+                # the request's duration, no device cycles.
+                stall_s = plan.serve_stall_s(request.seq, request.attempt)
             cycles_before = device.backend.stats.cycles
-            try:
-                value = request.workload(device, request.payload)
-                error = None
-            except BaseException as exc:  # delivered to the caller
-                value, error = None, exc
+            if plan is not None and plan.serve_should_fail(
+                request.seq, request.attempt
+            ):
+                value = None
+                error: Optional[BaseException] = WorkerFault(
+                    f"injected serve fault (request {request.seq}, "
+                    f"attempt {request.attempt})"
+                )
+            else:
+                try:
+                    value = request.workload(device, request.payload)
+                    error = None
+                except BaseException as exc:  # delivered to the caller
+                    value, error = None, exc
             cycles = device.backend.stats.cycles - cycles_before
-            duration = cycles / self.config.frequency_hz
+            duration = cycles / self.config.frequency_hz + stall_s
             with self._sim_lock:
                 start = max(request.arrival, worker.busy_until)
                 end = start + duration
                 worker.busy_until = end
                 worker.busy_time += duration
                 worker.requests += 1
-                self._arrivals.append(request.arrival)
+            if isinstance(error, WorkerFault) and request.attempt < request.retries:
+                # Exponential backoff on the simulated clock: the retry
+                # re-arrives after the failed attempt plus the backoff,
+                # but its deadline stays anchored at the original
+                # arrival — retries spend the same budget.
+                backoff = self.retry_backoff_s * (2.0 ** request.attempt)
+                request.attempt += 1
+                request.arrival = end + backoff
+                with self._sim_lock:
+                    self._retries += 1
+                self._loop.call_soon_threadsafe(self._requeue, request)
+                continue
+            if request.deadline_at is not None and end > request.deadline_at:
+                self._finish_timeout(worker, request)
+                continue
+            with self._sim_lock:
+                self._arrivals.append(request.submitted)
                 self._ends.append(end)
-                self._latencies.append(end - request.arrival)
+                self._latencies.append(end - request.submitted)
+                if error is None and request.attempt:
+                    self._failovers += 1
             if error is not None:
                 self._loop.call_soon_threadsafe(
                     _set_exception, request.future, error
@@ -298,6 +424,33 @@ class Server:
                 self._loop.call_soon_threadsafe(
                     _set_result, request.future, value
                 )
+
+    def _requeue(self, request: _Request) -> None:
+        """Put a retry back on the queue (loop thread); a server torn
+        down mid-backoff fails the request instead of stranding it."""
+        if self._closed:
+            _set_exception(
+                request.future, ServerClosed("server closed during retry")
+            )
+            return
+        self._queue.put_nowait(request)
+
+    def _finish_timeout(self, worker: _Worker, request: _Request) -> None:
+        """Account and deliver a missed deadline (latency = the budget)."""
+        with self._sim_lock:
+            self._timeouts += 1
+            self._arrivals.append(request.submitted)
+            self._ends.append(request.deadline_at)
+            self._latencies.append(request.deadline_at - request.submitted)
+        budget = request.deadline_at - request.submitted
+        self._loop.call_soon_threadsafe(
+            _set_exception,
+            request.future,
+            DeadlineExceeded(
+                f"request {request.seq} missed its {budget:.6f}s deadline "
+                f"(attempt {request.attempt})"
+            ),
+        )
 
     # ------------------------------------------------------------------
     def metrics(self) -> ServerMetrics:
@@ -308,6 +461,9 @@ class Server:
             ends = list(self._ends)
             batches = self._batches
             busy = tuple(worker.busy_time for worker in self.workers)
+            timeouts = self._timeouts
+            retries = self._retries
+            failovers = self._failovers
         count = len(latencies)
         makespan = (max(ends) - min(arrivals)) if count else 0.0
         wall = (
@@ -325,6 +481,9 @@ class Server:
             p99_latency_s=float(np.percentile(latencies, 99)) if count else 0.0,
             worker_busy_s=busy,
             wall_s=wall,
+            timeouts=timeouts,
+            retries=retries,
+            failovers=failovers,
         )
 
 
@@ -398,6 +557,9 @@ def serve_workload(
     workload: Callable,
     payloads: Sequence[Any],
     arrivals: Optional[Sequence[float]] = None,
+    deadline: Optional[float] = None,
+    retries: int = 0,
+    return_exceptions: bool = False,
     **server_kwargs,
 ) -> Tuple[List[Any], ServerMetrics]:
     """Serve a payload list to completion and return (results, metrics).
@@ -406,6 +568,12 @@ def serve_workload(
     use: builds a :class:`Server`, submits every payload concurrently
     (``arrivals[i]`` on the simulated clock, default all-at-once), and
     tears the server down. Results keep submission order.
+
+    ``deadline`` and ``retries`` apply per request (see
+    :meth:`Server.submit`). With ``return_exceptions=True`` a failed
+    request's exception (e.g. :class:`DeadlineExceeded`) is returned in
+    its result slot instead of aborting the run — the chaos benchmarks
+    use this to assert zero requests are *lost* even when some fail.
     """
     if arrivals is None:
         arrivals = [0.0] * len(payloads)
@@ -418,11 +586,19 @@ def serve_workload(
         try:
             tasks = [
                 asyncio.ensure_future(
-                    server.submit(workload, payload, arrival=arrival)
+                    server.submit(
+                        workload,
+                        payload,
+                        arrival=arrival,
+                        deadline=deadline,
+                        retries=retries,
+                    )
                 )
                 for payload, arrival in zip(payloads, arrivals)
             ]
-            results = await asyncio.gather(*tasks)
+            results = await asyncio.gather(
+                *tasks, return_exceptions=return_exceptions
+            )
         finally:
             await server.close()
         return list(results), server.metrics()

@@ -185,6 +185,115 @@ class TestInvalidation:
         self._assert_rejected(tmp_path, cache, path, "missing_field")
 
 
+class TestConcurrencyAndCrash:
+    """Many writers and killed writers must never corrupt the cache.
+
+    The atomic-rename protocol (temp file + ``os.replace``) is what the
+    resilience layer leans on: concurrent sessions sharing one
+    ``cache_dir`` may interleave stores, loads, and invalidation
+    deletes in any order, and a writer killed mid-entry leaves only a
+    ``.tmp-*`` partial, never a half-written entry under a real name.
+    """
+
+    def test_concurrent_writers_one_key(self, tmp_path):
+        import threading
+
+        program = compiled_program()
+        errors = []
+
+        def session(index):
+            try:
+                # Each thread is its own "process": fresh cache instance
+                # over the shared directory.
+                cache = fresh_cache(tmp_path)
+                for _ in range(8):
+                    cache.store(KEY, program)
+                    restored = cache.load(KEY)
+                    assert restored is not None
+                    assert restored.ops == program.ops
+            except BaseException as exc:  # surfaced after join
+                errors.append((index, exc))
+
+        threads = [
+            threading.Thread(target=session, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with _artifacts_on_failure(tmp_path, "concurrent_one_key"):
+            assert not errors
+            leftovers = [
+                name for name in os.listdir(tmp_path)
+                if name.startswith(".tmp-")
+            ]
+            assert leftovers == [], "every temp file must be renamed away"
+            assert fresh_cache(tmp_path).load(KEY).ops == program.ops
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        import threading
+
+        program = compiled_program()
+        errors = []
+
+        def session(index):
+            try:
+                cache = fresh_cache(tmp_path)
+                key = ("body", f"stream-{index}", 32)
+                cache.store(key, program)
+                for other in range(8):
+                    probe = cache.load(("body", f"stream-{other}", 32))
+                    assert probe is None or probe.ops == program.ops
+            except BaseException as exc:
+                errors.append((index, exc))
+
+        threads = [
+            threading.Thread(target=session, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with _artifacts_on_failure(tmp_path, "concurrent_distinct"):
+            assert not errors
+            warm = fresh_cache(tmp_path)
+            for index in range(8):
+                assert warm.load(("body", f"stream-{index}", 32)) is not None
+
+    def test_crash_mid_write_leaves_cache_usable(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        # A writer killed before the atomic rename leaves only a partial
+        # temp file; the entry's real name never exists half-written.
+        stray = os.path.join(str(tmp_path), ".tmp-dead123.json")
+        with open(stray, "w") as handle:
+            handle.write('{"version": %d, "name": "par' % FORMAT_VERSION)
+        with _artifacts_on_failure(tmp_path, "crash_mid_write"):
+            assert cache.load(KEY) is None  # a miss, not an error
+            assert cache.counters()["invalid"] == 0
+            cache.store(KEY, compiled_program())
+            assert cache.load(KEY) is not None
+            assert os.path.exists(stray), (
+                "an unrelated temp file is inert, not collateral damage"
+            )
+
+    def test_concurrent_invalidation_of_one_corrupt_entry(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        cache.store(KEY, compiled_program())
+        [name] = os.listdir(tmp_path)
+        path = os.path.join(str(tmp_path), name)
+        with open(path, "wb") as handle:
+            handle.write(b"\xff not json")
+        first, second = fresh_cache(tmp_path), fresh_cache(tmp_path)
+        with _artifacts_on_failure(tmp_path, "concurrent_invalidation"):
+            # Both sessions observe the damage; whichever deletes second
+            # must tolerate the file already being gone.
+            assert first.load(KEY) is None
+            assert second.load(KEY) is None
+            assert not os.path.exists(path)
+            second.store(KEY, compiled_program())
+            assert second.load(KEY) is not None
+
+
 def _run_workload(device):
     a = np.arange(-16, 16, dtype=np.int32)
     b = np.arange(1, 33, dtype=np.int32)

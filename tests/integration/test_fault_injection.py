@@ -1,0 +1,332 @@
+"""Fault injection & resilience (:mod:`repro.faults`) end to end.
+
+The three acceptance claims of the resilience layer, each enforced here:
+
+1. **Detection**: ``verify="checksum"`` catches >= 99% of injected
+   flips that corrupt a compiled program's written cells, on both
+   backends and both simulator replay engines (in practice the CRC
+   bracket catches every one — the floor is the contract).
+2. **Recovery**: a transient flip is healed by one retry; a persistent
+   stuck-at cell is quarantined in the allocator and the function
+   recompiles around it — outputs stay bit-identical to golden either
+   way. A pooled worker crash fails over to a fresh worker and the run
+   stays bit-identical to a single device.
+3. **Identity**: with no faults installed — or an *empty* plan
+   installed — every output, memory image, and cycle count is exactly
+   what it is today. Fault hooks must be invisible when disabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.pim as pim
+from repro.arch.config import PIMConfig
+from repro.faults import (
+    ChecksumError,
+    FaultPlan,
+    ShardError,
+    WorkerFault,
+    program_regions,
+    resolve_fault_seed,
+)
+
+CFG = PIMConfig(crossbars=4, rows=8)
+N = CFG.total_rows  # one register's worth of elements
+
+BACKENDS = ["simulator", "numpy"]
+
+#: The detection corpus: distinct compiled shapes (different op mixes,
+#: different written-region footprints). Every (program, cell) pair
+#: below contributes one injected flip to the >= 99% detection floor.
+CORPUS = [
+    ("mul-add", lambda a, b: a * b + a),
+    ("add", lambda a, b: a + b),
+    ("sub-mul", lambda a, b: (a - b) * b),
+    ("chain", lambda a, b: (a + b) * (a - b) + b),
+]
+
+
+def _arrays(seed=7):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(-1000, 1000, N).astype(np.int32),
+        rng.integers(-1000, 1000, N).astype(np.int32),
+    )
+
+
+def _target_cells(fn_handle, limit=5, device=None):
+    """Pick up to ``limit`` distinct written cells of a captured program."""
+    entry = next(iter(fn_handle._cache.values()))
+    if hasattr(entry.program, "ops"):
+        regions = program_regions(entry.program, CFG)
+    else:
+        # Functional programs carry macro instructions, not micro-ops;
+        # the numpy backend derives its own (architectural) regions.
+        regions = device.backend._program_regions(entry.program)
+    cells = []
+    for reg, (xs, xe, xstep), (rs, re_, rstep) in regions:
+        for xb in range(xs, xe + 1, xstep):
+            for row in range(rs, re_ + 1, rstep):
+                cells.append((xb, reg, row))
+    # Spread across the footprint instead of clustering at the front.
+    step = max(len(cells) // limit, 1)
+    return cells[::step][:limit]
+
+
+class TestChecksumDetection:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_detects_injected_output_flips(self, backend):
+        """>= 99% of flips into written cells are caught and healed."""
+        total = detected = 0
+        for name, fn in CORPUS:
+            device = pim.init(config=CFG, backend=backend)
+            handle = pim.compile(fn, verify="checksum")
+            a, b = _arrays()
+            golden = pim.to_numpy(
+                handle(pim.from_numpy(a), pim.from_numpy(b))
+            )
+            before = handle.fault_retries
+            for index, (xb, reg, row) in enumerate(
+                _target_cells(handle, device=device)
+            ):
+                # Fresh plan per injection: the overlay restarts at tick
+                # 0, so the flip lands inside the next verify window.
+                plan = FaultPlan(
+                    CFG, seed=index, flips=[(1, xb, reg, row, index % CFG.word_size)]
+                )
+                device.install_faults(plan)
+                out = pim.to_numpy(
+                    handle(pim.from_numpy(a), pim.from_numpy(b))
+                )
+                np.testing.assert_array_equal(out, golden)
+                total += 1
+            detected = detected + handle.fault_retries - before
+        assert total >= 20
+        assert detected / total >= 0.99, (
+            f"checksum verify caught {detected}/{total} injected flips"
+        )
+
+    def test_rotating_seed_targets_detected(self):
+        """CI rotates ``REPRO_FAULT_SEED``; any seed's choice of written
+        cell, bit, and payload must still be detected and healed."""
+        seed = resolve_fault_seed(23)
+        rng = np.random.default_rng(seed)
+        device = pim.init(config=CFG, backend="simulator")
+        handle = pim.compile(lambda a, b: (a + b) * b, verify="checksum")
+        a, b = _arrays(int(rng.integers(1, 2**20)))
+        golden = pim.to_numpy(handle(pim.from_numpy(a), pim.from_numpy(b)))
+        cells = _target_cells(handle, limit=64, device=device)
+        before = handle.fault_retries
+        for _ in range(8):
+            xb, reg, row = cells[int(rng.integers(0, len(cells)))]
+            bit = int(rng.integers(0, CFG.word_size))
+            device.install_faults(
+                FaultPlan(CFG, seed=int(seed), flips=[(1, xb, reg, row, bit)])
+            )
+            out = pim.to_numpy(
+                handle(pim.from_numpy(a), pim.from_numpy(b))
+            )
+            np.testing.assert_array_equal(out, golden)
+        assert handle.fault_retries - before == 8, (
+            f"seed {seed}: every targeted flip must be caught"
+        )
+
+    def test_flip_outside_written_regions_is_silent(self):
+        """A flip that cannot corrupt the output raises nothing."""
+        device = pim.init(config=CFG, backend="simulator")
+        handle = pim.compile(lambda a, b: a + b, verify="checksum")
+        a, b = _arrays()
+        golden = pim.to_numpy(handle(pim.from_numpy(a), pim.from_numpy(b)))
+        # Inputs are read, never written: region checksums skip them.
+        plan = FaultPlan(CFG, seed=0, flips=[(1, 0, 0, 0, 0)])
+        device.install_faults(plan)
+        out = pim.to_numpy(handle(pim.from_numpy(a), pim.from_numpy(b)))
+        np.testing.assert_array_equal(out, golden)
+        assert handle.fault_retries == 0
+
+    def test_checksum_counters_surface(self):
+        device = pim.init(config=CFG, backend="simulator")
+        handle = pim.compile(lambda a, b: a * b, verify="checksum")
+        a, b = _arrays()
+        handle(pim.from_numpy(a), pim.from_numpy(b))  # capture
+        handle(pim.from_numpy(a), pim.from_numpy(b))  # verified replay
+        counters = device.backend.fault_counters()
+        assert counters["verify_checks"] >= 1
+        assert counters.get("verify_detected", 0) == 0
+
+    def test_profiler_reports_fault_counts(self):
+        device = pim.init(config=CFG, backend="simulator")
+        device.install_faults(FaultPlan(CFG, seed=0, flips=[(1, 0, 0, 0, 0)]))
+        a, b = _arrays()
+        with pim.Profiler() as prof:
+            pim.to_numpy(pim.from_numpy(a) + pim.from_numpy(b))
+        assert prof.fault_counts.get("ticks", 0) >= 1
+
+
+class TestReplayEngineIdentity:
+    """Both simulator replay engines must see one fault timeline."""
+
+    def _run(self, replay_engine):
+        device = pim.init(
+            config=CFG, backend="simulator", replay_engine=replay_engine
+        )
+        handle = pim.compile(lambda a, b: a * b + a)
+        a, b = _arrays()
+        handle(pim.from_numpy(a), pim.from_numpy(b))  # capture
+        plan = FaultPlan(CFG, seed=5, random_flips=6, flip_window=(1, 4))
+        device.install_faults(plan)
+        outs = [
+            pim.to_numpy(handle(pim.from_numpy(a), pim.from_numpy(b)))
+            for _ in range(4)
+        ]
+        return outs, device.backend.words.copy(), device.backend.fault_counters()
+
+    def test_thunk_and_vectorized_agree_under_faults(self):
+        thunk_outs, thunk_words, thunk_counts = self._run("thunk")
+        vec_outs, vec_words, vec_counts = self._run("vectorized")
+        for t_out, v_out in zip(thunk_outs, vec_outs):
+            np.testing.assert_array_equal(t_out, v_out)
+        np.testing.assert_array_equal(thunk_words, vec_words)
+        assert thunk_counts["ticks"] == vec_counts["ticks"]
+        assert thunk_counts["flips"] == vec_counts["flips"]
+
+
+class TestStuckCellQuarantine:
+    def test_persistent_fault_quarantines_and_recompiles(self):
+        """Capture clean -> detect -> retry fails -> quarantine -> golden."""
+        device = pim.init(config=CFG, backend="simulator")
+        handle = pim.compile(lambda a, b: a * b + a, verify="checksum")
+        rng = np.random.default_rng(3)
+        a = (2 * rng.integers(-500, 500, N)).astype(np.int32)
+        b = (2 * rng.integers(-500, 500, N)).astype(np.int32)
+        golden = pim.to_numpy(handle(pim.from_numpy(a), pim.from_numpy(b)))
+        # Wedge a user-register output cell: a*b+a is even for even
+        # inputs, so stuck-at-1 on bit 0 always corrupts the value.
+        user_cell = next(
+            (xb, reg, row)
+            for (xb, reg, row) in _target_cells(handle, limit=64)
+            if reg < CFG.user_registers
+        )
+        xb, reg, row = user_cell
+        plan = FaultPlan(
+            CFG, seed=0, stuck=[(xb, reg, row, 0, "stuck1")], stuck_from_tick=1
+        )
+        device.install_faults(plan)
+        out = pim.to_numpy(handle(pim.from_numpy(a), pim.from_numpy(b)))
+        np.testing.assert_array_equal(out, golden)
+        assert handle.fault_retries >= 1
+        assert handle.fault_recompiles >= 1
+        assert (reg, xb) in device.allocator.bad_cells
+
+    def test_allocator_plans_around_bad_cells(self):
+        device = pim.init(config=CFG, backend="simulator")
+        bad = device.allocator.quarantine([(0, 0)])
+        assert bad == [(0, 0)]
+        tensor = pim.zeros(N, dtype=pim.int32)
+        slot = tensor.slot
+        assert not (slot.reg == 0 and slot.warp_start <= 0 < slot.warp_stop)
+        del tensor
+        assert device.allocator.bad_cells == {(0, 0)}
+
+
+class TestPoolResilience:
+    def _work(self):
+        rng = np.random.default_rng(11)
+        a = rng.integers(-1000, 1000, 64).astype(np.int32)
+        b = rng.integers(-1000, 1000, 64).astype(np.int32)
+        x = pim.from_numpy(a)
+        y = pim.from_numpy(b)
+        return pim.to_numpy(x * y + x)
+
+    def test_shard_failover_bit_identical(self):
+        big = PIMConfig(crossbars=8, rows=8)
+        pim.init(config=big, backend="simulator")
+        golden = self._work()
+        device = pim.init(config=big, backend="pooled", workers=4)
+        plan = FaultPlan(big, seed=1, worker_failures=[(1, 0), (0, 1)])
+        device.install_faults(plan)
+        out = self._work()
+        np.testing.assert_array_equal(out, golden)
+        counters = device.backend.fault_counters()
+        assert counters["failovers"] == counters["worker_faults"] >= 1
+        assert counters["quarantined_shards"] >= 1
+        assert [k for k, _ in device.backend.quarantined_workers]
+
+    def test_unplanned_crash_surfaces_shard_context(self):
+        big = PIMConfig(crossbars=8, rows=8)
+        device = pim.init(config=big, backend="pooled", workers=4)
+
+        def boom(arg):
+            raise RuntimeError("kaput")
+
+        device.backend.workers[1].execute = boom
+        device.backend.workers[1].run_program = boom
+        with pytest.raises(ShardError, match=r"pool shard 1 \(warps 2\.\.3\)"):
+            self._work()
+
+
+class TestDisabledIdentity:
+    """Fault hooks must be invisible when no faults are armed."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_plan_is_bit_and_cycle_identical(self, backend):
+        outputs, images, cycles = [], [], []
+        for plan in (None, FaultPlan(CFG, seed=9)):
+            device = pim.init(config=CFG, backend=backend)
+            if plan is not None:
+                device.install_faults(plan)
+            handle = pim.compile(lambda a, b: a * b + a)
+            a, b = _arrays()
+            out = pim.to_numpy(
+                handle(pim.from_numpy(a), pim.from_numpy(b))
+            )
+            out2 = pim.to_numpy(
+                handle(pim.from_numpy(a), pim.from_numpy(b))
+            )
+            np.testing.assert_array_equal(out, out2)
+            outputs.append(out)
+            images.append(device.backend.words.copy())
+            cycles.append(device.backend.stats.cycles)
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+        np.testing.assert_array_equal(images[0], images[1])
+        assert cycles[0] == cycles[1]
+
+    def test_verify_costs_no_cycles(self):
+        a, b = _arrays()
+        cycles = []
+        for verify in (None, "checksum"):
+            device = pim.init(config=CFG, backend="simulator")
+            handle = pim.compile(lambda a, b: a * b + a, verify=verify)
+            handle(pim.from_numpy(a), pim.from_numpy(b))
+            handle(pim.from_numpy(a), pim.from_numpy(b))
+            cycles.append(device.backend.stats.cycles)
+        assert cycles[0] == cycles[1]
+
+
+class TestSeedPlumbing:
+    def test_resolve_fault_seed_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+        assert resolve_fault_seed(42) == 42
+        monkeypatch.setenv("REPRO_FAULT_SEED", "12345")
+        assert resolve_fault_seed() == 12345
+
+    def test_same_seed_same_plan(self):
+        one = FaultPlan(CFG, seed=77, random_flips=8, random_stuck1=3)
+        two = FaultPlan(CFG, seed=77, random_flips=8, random_stuck1=3)
+        assert one.flips == two.flips
+        assert one.stuck == two.stuck
+
+    def test_fingerprint_rejects_other_geometry(self):
+        plan = FaultPlan(CFG, seed=0)
+        other = PIMConfig(crossbars=8, rows=8)
+        device = pim.init(config=other, backend="simulator")
+        with pytest.raises(ValueError, match="different geometry"):
+            device.install_faults(plan)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_device():
+    yield
+    pim.reset()

@@ -25,6 +25,7 @@ from repro.isa.instructions import (
     ROp,
     WriteInstr,
 )
+from repro.faults import ShardError
 from repro.pool import PooledBackend
 from repro.pool.backend import shard_mask
 
@@ -237,3 +238,83 @@ class TestCounters:
         pool.execute(RInstr(ROp.MUL, int32, dest=3, src_a=0, src_b=1))
         pool.execute(RInstr(ROp.SUB, int32, dest=4, src_a=0, src_b=1))
         assert pool.cache_evictions > 0
+
+
+class TestShardFaults:
+    """Crash containment: ShardError context, quarantine, failover."""
+
+    def _golden(self):
+        single = SimulatorBackend(CFG)
+        reads = _run(single, _program())
+        return reads, single.words.copy()
+
+    def test_worker_exception_wrapped_with_shard_context(self):
+        pool = PooledBackend(CFG, workers=4)
+
+        def boom(arg):
+            raise RuntimeError("kaput")
+
+        pool.workers[2].execute = boom
+        pool.workers[2].run_program = boom
+        with pytest.raises(ShardError) as excinfo:
+            _run(pool, _program())
+        message = str(excinfo.value)
+        assert "pool shard 2" in message
+        assert "warps 4..5" in message
+        assert "kaput" in message
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_simulation_errors_are_not_wrapped(self):
+        pool = PooledBackend(CFG, workers=2)
+        from repro.sim.simulator import SimulationError
+
+        with pytest.raises(SimulationError):
+            # An illegal inter-warp H-tree pattern must surface as the
+            # architectural rejection, not a shard crash.
+            pool.execute(MoveInstr(src_reg=0, dst_reg=1, src_thread=0,
+                                   dst_thread=0,
+                                   warp_mask=RangeMask(0, 4, 1),
+                                   warp_dist=3))
+
+    def test_injected_failure_fails_over_bit_identically(self):
+        from repro.faults import FaultPlan
+
+        golden_reads, golden_words = self._golden()
+        pool = PooledBackend(CFG, workers=4)
+        plan = FaultPlan(CFG, seed=2,
+                         worker_failures=[(0, 3), (3, 10), (1, 0)])
+        pool.install_faults(plan)
+        reads = _run(pool, _program())
+        assert reads == golden_reads
+        np.testing.assert_array_equal(pool.words, golden_words)
+        counters = pool.fault_counters()
+        assert counters["worker_faults"] >= 1
+        assert counters["failovers"] == counters["worker_faults"]
+        assert counters["quarantined_shards"] == len(pool.quarantined_workers)
+
+    def test_failover_on_compiled_replay(self):
+        from repro.faults import FaultPlan
+
+        golden_reads, golden_words = self._golden()
+        pool = PooledBackend(CFG, workers=4)
+        program = pool.compile(_program(), name="failover")
+        plan = FaultPlan(CFG, seed=5, worker_failures=[(1, 0), (2, 1)])
+        pool.install_faults(plan)
+        # The replacement worker replays sub-programs compiled by the
+        # worker it replaced — compiled programs are shard-portable.
+        pool.run_program(program)
+        np.testing.assert_array_equal(pool.words, golden_words)
+        assert pool.fault_counters()["failovers"] >= 1
+
+    def test_pool_checksum_verify_detects_corruption(self):
+        from repro.faults import ChecksumError, FaultPlan
+
+        pool = PooledBackend(CFG, workers=2)
+        program = pool.compile(_program(), name="verified")
+        pool.run_program(program, verify="checksum")  # clean
+        plan = FaultPlan(CFG, seed=0, flips=[(1, 0, 0, 0, 0)])
+        pool.install_faults(plan)
+        with pytest.raises(ChecksumError):
+            pool.run_program(program, verify="checksum")
+        counters = pool.fault_counters()
+        assert counters["verify_detected"] == 1

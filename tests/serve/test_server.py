@@ -128,3 +128,140 @@ def test_cli_demo_runs():
 
     assert main(["--workers", "2", "--clients", "2", "--requests", "2",
                  "--crossbars", "4", "--rows", "16", "--json"]) == 0
+
+
+class TestResilience:
+    """Deadlines, retries with backoff, injected faults, close semantics."""
+
+    def test_deadline_exceeded_fails_fast(self):
+        import asyncio
+
+        from repro.serve import DeadlineExceeded, Server
+
+        async def main():
+            server = Server(workers=1, config=CONFIG)
+            await server.start()
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await server.submit(
+                        CompiledWorkload(model), _payloads(1)[0],
+                        deadline=1e-12,
+                    )
+                return server.metrics()
+            finally:
+                await server.close()
+
+        metrics = asyncio.run(main())
+        assert metrics.timeouts == 1
+        # The missed request is accounted at exactly its budget.
+        assert metrics.p99_latency_s == pytest.approx(1e-12)
+
+    def test_generous_deadline_is_met(self):
+        results, metrics = _serve(
+            _payloads(6), workers=2, deadline=10.0, retries=1
+        )
+        assert metrics.timeouts == 0 and metrics.retries == 0
+        for (a, b), result in zip(_payloads(6), results):
+            np.testing.assert_array_equal(result, golden(a, b))
+
+    def test_injected_faults_retried_to_success(self):
+        from repro.faults import FaultPlan
+
+        payloads = _payloads(8)
+        plan = FaultPlan(
+            CONFIG, seed=1, serve_failures=[2, 5], serve_fail_attempts=1,
+        )
+        results, metrics = _serve(
+            payloads, workers=2, retries=2, fault_plan=plan,
+        )
+        for (a, b), result in zip(payloads, results):
+            np.testing.assert_array_equal(result, golden(a, b))
+        assert metrics.retries == 2
+        assert metrics.failovers == 2
+        assert metrics.requests == 8
+
+    def test_fault_without_retries_surfaces(self):
+        from repro.faults import FaultPlan, WorkerFault
+
+        plan = FaultPlan(CONFIG, seed=1, serve_failures=[1])
+        with pytest.raises(WorkerFault):
+            _serve(_payloads(2), workers=1, fault_plan=plan)
+
+    def test_injected_stall_inflates_latency(self):
+        from repro.faults import FaultPlan
+
+        base = _serve(_payloads(4), workers=1)[1]
+        plan = FaultPlan(CONFIG, seed=0, serve_stalls={2: 0.25})
+        stalled = _serve(_payloads(4), workers=1, fault_plan=plan)[1]
+        # The stalled request carries the whole 0.25 s on the simulated
+        # clock (p99 interpolates, so compare against the raw stall).
+        assert stalled.p99_latency_s >= 0.25
+        assert stalled.sim_makespan_s > base.sim_makespan_s
+
+    def test_close_fails_outstanding_futures(self):
+        import asyncio
+        import threading
+
+        from repro.serve import Server, ServerClosed
+
+        async def main():
+            # batch_limit=1: the scheduler dispatches one request at a
+            # time, so everything behind the slow head stays queued.
+            server = Server(workers=1, config=CONFIG, batch_limit=1)
+            await server.start()
+            release = threading.Event()
+
+            def slow(device, payload):
+                release.wait(timeout=5.0)
+                return payload
+
+            first = asyncio.ensure_future(server.submit(slow, 1))
+            await asyncio.sleep(0.05)
+            rest = [
+                asyncio.ensure_future(server.submit(slow, n))
+                for n in range(2, 8)
+            ]
+            await asyncio.sleep(0.05)
+            # Unblock the in-flight head only after close() has begun.
+            asyncio.get_running_loop().call_later(0.2, release.set)
+            await server.close()
+            outcomes = await asyncio.gather(
+                first, *rest, return_exceptions=True
+            )
+            assert all(
+                outcome in (1, 2, 3, 4, 5, 6, 7)
+                or isinstance(outcome, ServerClosed)
+                for outcome in outcomes
+            )
+            assert any(
+                isinstance(outcome, ServerClosed) for outcome in outcomes
+            ), "close() must fail whatever it could not drain"
+            with pytest.raises(ServerClosed):
+                await server.submit(slow, 99)
+
+        asyncio.run(main())
+
+    def test_reset_with_active_server_errors(self):
+        import asyncio
+
+        import repro.pim as pim
+
+        from repro.serve import Server
+
+        async def main():
+            server = Server(workers=1, config=CONFIG)
+            await server.start()
+            try:
+                with pytest.raises(RuntimeError, match="active services"):
+                    pim.reset()
+            finally:
+                await server.close()
+            pim.reset()  # clean after close
+
+        asyncio.run(main())
+
+    def test_metrics_dict_carries_resilience_counters(self):
+        _, metrics = _serve(_payloads(2), workers=1)
+        payload = metrics.as_dict()
+        for key in ("timeouts", "retries", "failovers"):
+            assert payload[key] == 0
